@@ -1,0 +1,42 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``test_figNN_*`` benchmark regenerates one paper figure: it runs the
+experiment under ``pytest-benchmark`` (timing the simulation itself),
+prints the figure's data series, writes it to ``benchmarks/results/``,
+and asserts the figure's shape claims (who wins, what is flat, what
+crosses over).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print a figure's rendered series and persist it to results/."""
+
+    def _emit(figure_id: str, text: str) -> None:
+        path = results_dir / f"{figure_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print(f"\n=== {figure_id} ===\n{text}")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

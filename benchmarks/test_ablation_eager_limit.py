@@ -1,0 +1,63 @@
+"""Ablation EA1: eager-threshold sweep.
+
+Where does the protocol crossover fall?  Messages under the eager limit
+fully overlap on the receiver (case-3 optimism) and buffer instantly on
+the sender; above it, the rendezvous machinery takes over and overlap
+depends on the scheme.  The sweep moves the limit across a fixed message
+size and watches the receiver's bounds flip.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_micro_series
+from repro.experiments.micro import overlap_sweep
+from repro.mpisim.config import MpiConfig
+
+MSG = 64 * 1024
+LIMITS = [8 * 1024, 32 * 1024, 128 * 1024]
+
+
+def test_ablation_eager_limit(benchmark, emit):
+    def run():
+        out = {}
+        for limit in LIMITS:
+            cfg = MpiConfig(
+                name=f"eager{limit}", eager_limit=limit, rndv_mode="rget",
+                leave_pinned=True,
+            )
+            out[limit] = overlap_sweep(
+                "isend_irecv", MSG, [0.5e-3], cfg, iters=40
+            )[0]
+        return out
+
+    points = run_once(benchmark, run)
+    text = ["EA1: eager-limit sweep, 64KiB Isend-Irecv, 0.5ms compute",
+            f"{'limit':>10} {'rcv min%':>9} {'rcv max%':>9} {'snd max%':>9}"]
+    for limit, p in points.items():
+        text.append(
+            f"{limit:>10} {p.min_pct('receiver'):>9.1f} "
+            f"{p.max_pct('receiver'):>9.1f} {p.max_pct('sender'):>9.1f}"
+        )
+    emit("ablation_ea1_eager_limit", "\n".join(text))
+
+    # Below the limit (128K): eager -> receiver case-3 (max 100, min 0).
+    assert points[128 * 1024].max_pct("receiver") == 100.0
+    assert points[128 * 1024].min_pct("receiver") == 0.0
+    # Above the limit (8K): rget rendezvous -> receiver reads in Wait: ~0.
+    assert points[8 * 1024].max_pct("receiver") < 10.0
+
+
+def test_ablation_eager_limit_sender_series(benchmark, emit):
+    cfg = MpiConfig(name="small-eager", eager_limit=1024, rndv_mode="rget",
+                    leave_pinned=True)
+    points = run_once(
+        benchmark,
+        lambda: overlap_sweep(
+            "isend_recv", MSG, [0.0, 0.2e-3, 0.4e-3], cfg, iters=40
+        ),
+    )
+    emit(
+        "ablation_ea1_sender_series",
+        render_micro_series(points, "sender", "EA1: 64KiB forced rendezvous (sender)"),
+    )
+    assert points[-1].max_pct("sender") > 90.0

@@ -1,0 +1,43 @@
+"""Ablation EA2: fragment size in the pipelined rendezvous.
+
+The overlappable share of a pipelined transfer is the first fragment, so
+the sender's maximum overlap should track ``frag_size / message_size``
+(modulo the fragment's own latency overhead).
+"""
+
+from conftest import run_once
+
+from repro.experiments.micro import overlap_sweep
+from repro.mpisim.config import MpiConfig
+
+MB = 1024 * 1024
+FRAGS = [32 * 1024, 128 * 1024, 512 * 1024]
+
+
+def test_ablation_frag_size(benchmark, emit):
+    def run():
+        out = {}
+        for frag in FRAGS:
+            cfg = MpiConfig(
+                name=f"frag{frag}", eager_limit=16 * 1024,
+                rndv_mode="pipelined", frag_size=frag,
+            )
+            out[frag] = overlap_sweep("isend_recv", MB, [1.5e-3], cfg, iters=30)[0]
+        return out
+
+    points = run_once(benchmark, run)
+    text = ["EA2: pipelined fragment-size sweep, 1MiB Isend-Recv, 1.5ms compute",
+            f"{'frag':>10} {'snd max%':>9} {'snd wait(us)':>13}"]
+    for frag, p in points.items():
+        text.append(
+            f"{frag:>10} {p.max_pct('sender'):>9.1f} "
+            f"{p.wait_time('sender') * 1e6:>13.1f}"
+        )
+    emit("ablation_ea2_frag_size", "\n".join(text))
+
+    # Larger first fragment -> more overlappable share -> higher max bound.
+    maxes = [points[f].max_pct("sender") for f in FRAGS]
+    assert maxes[0] < maxes[1] < maxes[2]
+    # And less data pushed inside Wait -> shorter waits.
+    waits = [points[f].wait_time("sender") for f in FRAGS]
+    assert waits[2] < waits[0]

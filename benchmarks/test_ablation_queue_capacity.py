@@ -1,0 +1,42 @@
+"""Ablation EA4: circular event-queue capacity (the Fig. 2 design choice).
+
+The queue size trades memory for drain frequency; because the processing
+module is O(events) either way, measured overlap must be *identical* for
+any capacity, and only the drain count changes.  This validates the
+paper's no-tracing design: bounded memory with no loss of information.
+"""
+
+from conftest import run_once
+
+from repro.experiments.nas_char import characterize
+from repro.mpisim.config import mvapich2_like
+
+CAPACITIES = [16, 256, 4096]
+
+
+def test_ablation_queue_capacity(benchmark, emit):
+    def run():
+        out = {}
+        for cap in CAPACITIES:
+            cfg = mvapich2_like(queue_capacity=cap)
+            out[cap] = characterize("lu", "S", 4, niter=1, config=cfg)
+        return out
+
+    points = run_once(benchmark, run)
+    text = ["EA4: event-queue capacity sweep, LU class S / 4 ranks",
+            f"{'capacity':>9} {'min%':>7} {'max%':>7} {'xfer(ms)':>9} {'events':>8}"]
+    for cap, p in points.items():
+        m = p.report.total
+        text.append(
+            f"{cap:>9} {m.min_overlap_pct:>7.2f} {m.max_overlap_pct:>7.2f} "
+            f"{m.data_transfer_time * 1e3:>9.3f} {p.report.event_count:>8}"
+        )
+    emit("ablation_ea4_queue_capacity", "\n".join(text))
+
+    base = points[CAPACITIES[0]].report.total
+    for cap in CAPACITIES[1:]:
+        m = points[cap].report.total
+        assert m.min_overlap_time == base.min_overlap_time
+        assert m.max_overlap_time == base.max_overlap_time
+        assert m.data_transfer_time == base.data_transfer_time
+        assert m.case_counts == base.case_counts

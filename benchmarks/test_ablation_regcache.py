@@ -1,0 +1,54 @@
+"""Ablation EA3: the leave_pinned registration cache.
+
+With caching off, every rendezvous pays the pinning cost inside the send
+call; with the MRU cache and a reused buffer, pinning is a one-time cost.
+The effect shows up as longer in-library time (and a worse min bound) in
+the uncached configuration.
+"""
+
+from conftest import run_once
+
+from repro.experiments.micro import overlap_sweep
+from repro.mpisim.config import MpiConfig
+
+MB = 1024 * 1024
+
+
+def _cfg(cached: bool) -> MpiConfig:
+    return MpiConfig(
+        name="rc-on" if cached else "rc-off",
+        eager_limit=16 * 1024,
+        rndv_mode="rget",
+        leave_pinned=cached,
+    )
+
+
+def test_ablation_regcache(benchmark, emit):
+    def run():
+        return {
+            cached: overlap_sweep(
+                "isend_recv", MB, [2.0e-3], _cfg(cached), iters=30, warmup=3
+            )[0]
+            for cached in (True, False)
+        }
+
+    points = run_once(benchmark, run)
+    text = ["EA3: registration cache on/off, 1MiB rget, reused buffer",
+            f"{'cache':>6} {'snd min%':>9} {'snd max%':>9} {'isend(us)':>10} "
+            f"{'recv mpi(ms)':>13}"]
+    for cached, p in points.items():
+        text.append(
+            f"{'on' if cached else 'off':>6} "
+            f"{p.min_pct('sender'):>9.1f} {p.max_pct('sender'):>9.1f} "
+            f"{p.sender.mean_call_time('MPI_Isend') * 1e6:>10.2f} "
+            f"{p.receiver.mpi_time * 1e3:>13.3f}"
+        )
+    emit("ablation_ea3_regcache", "\n".join(text))
+
+    on, off = points[True], points[False]
+    # Uncached pinning is paid inside MPI_Isend on every iteration.
+    assert off.sender.mean_call_time("MPI_Isend") > 2 * on.sender.mean_call_time(
+        "MPI_Isend"
+    )
+    # The receiver also re-pins per message: more in-library time.
+    assert off.receiver.mpi_time > on.receiver.mpi_time

@@ -1,0 +1,41 @@
+"""Ablation EA5: Iprobe count/placement in NAS SP (Sec. 4.3's manual search).
+
+"We tried different numbers as well as positions of Iprobe calls, each
+time measuring the change in overlap."  Zero probes degenerate to the
+original; one probe already recovers most of the overlap (the progress
+engine only needs to see the RTS once); additional probes buy little but
+cost calls.
+"""
+
+from conftest import run_once
+
+from repro.experiments.sp_tuning import iprobe_placement_sweep
+
+COUNTS = (0, 1, 2, 4, 8, 16)
+
+
+def test_ablation_sp_iprobe(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: iprobe_placement_sweep("A", 4, counts=COUNTS, niter=2),
+    )
+    text = ["EA5: SP Iprobe-count sweep, class A / 4 ranks (section scope)",
+            f"{'probes':>7} {'min%':>7} {'max%':>7} {'mpi(ms)':>9}"]
+    for r in results:
+        m = r.section("modified")
+        text.append(
+            f"{r.iprobe_calls:>7} {m.min_overlap_pct:>7.1f} "
+            f"{m.max_overlap_pct:>7.1f} {r.mpi_time_modified * 1e3:>9.3f}"
+        )
+    emit("ablation_ea5_sp_iprobe", "\n".join(text))
+
+    by_count = {r.iprobe_calls: r for r in results}
+    zero = by_count[0].section("modified")
+    one = by_count[1].section("modified")
+    assert one.max_overlap_pct > zero.max_overlap_pct + 20.0
+    # Diminishing returns: 16 probes barely beat 4.
+    assert (
+        by_count[16].section("modified").max_overlap_pct
+        - by_count[4].section("modified").max_overlap_pct
+        < 10.0
+    )

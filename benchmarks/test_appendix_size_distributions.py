@@ -1,0 +1,79 @@
+"""Appendix: the detailed per-size-range data the paper omitted.
+
+Sec. 4: "Data was gathered for different message size ranges, to provide
+information on the degree of overlap for messages of different sizes.
+While we omit detailed data due to space considerations, we briefly
+discuss our findings in each case."  The simulator has no space
+constraints: this bench emits the full size-range breakdown for every
+NAS benchmark and asserts the textual findings quantitatively.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_size_breakdown
+from repro.core.measures import DETAILED_EDGES
+from repro.experiments.nas_char import MPI_BENCHMARKS, characterize
+
+import dataclasses
+
+CELLS = [
+    ("bt", "A", 4),
+    ("cg", "A", 4),
+    ("lu", "A", 4),
+    ("ft", "A", 4),
+    ("sp", "A", 4),
+    ("is", "A", 4),
+]
+
+
+def test_appendix_size_distributions(benchmark, emit):
+    def run():
+        out = {}
+        for bench, klass, nprocs in CELLS:
+            _, config_factory = MPI_BENCHMARKS[bench]
+            config = dataclasses.replace(
+                config_factory(), bin_edges=DETAILED_EDGES
+            )
+            out[bench] = characterize(bench, klass, nprocs, niter=2,
+                                      config=config)
+        return out
+
+    points = run_once(benchmark, run)
+    blocks = []
+    for bench, point in points.items():
+        blocks.append(
+            render_size_breakdown(
+                point.report,
+                f"-- {bench.upper()} class {point.klass}, {point.nprocs} "
+                "ranks, process 0 --",
+            )
+        )
+    emit("appendix_size_distributions", "\n\n".join(blocks))
+
+    def bins(bench):
+        return points[bench].report.total.bins
+
+    def split_at(bench, edge_bytes):
+        b = bins(bench)
+        short = sum(
+            s.bytes for i, s in enumerate(b.bins)
+            if (b.edges[i] if i < len(b.edges) else float("inf")) <= edge_bytes
+        )
+        total = sum(s.bytes for s in b.bins)
+        return short / total if total else 0.0
+
+    # The paper's per-benchmark findings, now with numbers attached:
+    # BT: "long messages constitute the majority of communication".
+    assert split_at("bt", 16384) < 0.25
+    # CG: "a larger proportion of short messages" (by count).
+    cg = bins("cg")
+    short_count = sum(
+        s.count for i, s in enumerate(cg.bins)
+        if (cg.edges[i] if i < len(cg.edges) else float("inf")) <= 16384
+    )
+    assert short_count > 0.5 * sum(s.count for s in cg.bins)
+    # LU: "a mix of short and long messages".
+    assert 0.0 < split_at("lu", 16384) < 1.0
+    # FT / IS: collective long transfers dominate the bytes.
+    assert split_at("ft", 16384) < 0.05
+    assert split_at("is", 16384) < 0.3

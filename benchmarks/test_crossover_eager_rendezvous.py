@@ -1,0 +1,39 @@
+"""Crossover EC1: eager vs zero-copy rendezvous across message sizes.
+
+Small messages: the eager copy is cheap and the handshake round trip
+dominates -> eager wins on latency.  Large messages: the copy dominates
+-> rendezvous wins.  And at every size, eager gives the sender its full
+buffered-overlap guarantee while direct rendezvous needs the receiver's
+cooperation -- the latency-optimal and overlap-optimal thresholds differ.
+"""
+
+from conftest import run_once
+
+from repro.experiments.crossover import (
+    crossover_sweep,
+    find_crossover,
+    render_crossover,
+)
+
+SIZES = [1024.0, 8192.0, 65536.0, 262144.0, 1048576.0, 4194304.0]
+
+
+def test_crossover_eager_rendezvous(benchmark, emit):
+    points = run_once(benchmark, lambda: crossover_sweep(SIZES))
+    crossover = find_crossover(points)
+    text = render_crossover(points, "EC1: eager vs rget across sizes")
+    text += f"\n\nlatency crossover at {int(crossover) if crossover else '---'} bytes"
+    emit("crossover_ec1", text)
+
+    by = {(p.nbytes, p.protocol): p for p in points}
+    # Small messages: eager has lower receiver latency.
+    assert by[(1024.0, "eager")].latency < by[(1024.0, "rget")].latency
+    # Large messages: zero-copy rendezvous wins.
+    assert by[(4194304.0, "rget")].latency < by[(4194304.0, "eager")].latency
+    # A crossover exists inside the swept range.
+    assert crossover is not None
+    assert 1024.0 < crossover <= 4194304.0
+    # Overlap story: the eager sender keeps a high guaranteed overlap at
+    # every size (buffered semantics).
+    for size in SIZES:
+        assert by[(size, "eager")].sender_min_pct > 60.0

@@ -1,0 +1,41 @@
+"""Figure 7: Send-Irecv, 1 MB, direct RDMA.
+
+Claim: "there is zero overlap for direct RDMA whereas pipelined RDMA is
+able to overlap the first fragment"; wait time high and flat.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_micro_series
+from repro.experiments.micro import overlap_sweep
+from repro.mpisim.config import openmpi_like
+
+COMPUTES = [0.0, 0.25e-3, 0.5e-3, 0.75e-3, 1.0e-3, 1.25e-3, 1.5e-3, 1.75e-3]
+MB = 1024 * 1024
+
+
+def test_fig07_send_irecv_direct(benchmark, emit):
+    direct = run_once(
+        benchmark,
+        lambda: overlap_sweep(
+            "send_irecv", MB, COMPUTES, openmpi_like(leave_pinned=True), iters=40
+        ),
+    )
+    emit(
+        "fig07_receiver",
+        render_micro_series(
+            direct, "receiver", "Fig 7 (receiver, Irecv): 1MB direct RDMA"
+        ),
+    )
+    for p in direct:
+        assert p.max_pct("receiver") < 5.0  # zero overlap
+        assert p.min_pct("receiver") < 5.0
+    waits = [p.wait_time("receiver") for p in direct]
+    assert min(waits) > 1e-3
+    assert max(waits) / min(waits) < 1.3
+
+    # Cross-figure claim: pipelined overlaps the first fragment, direct none.
+    pipelined = overlap_sweep(
+        "send_irecv", MB, [1.0e-3], openmpi_like(leave_pinned=False), iters=40
+    )
+    assert pipelined[0].max_pct("receiver") > direct[4].max_pct("receiver")

@@ -1,0 +1,34 @@
+"""Figure 8: Isend-Irecv, 1 MB, pipelined RDMA rendezvous.
+
+Claim: "the initiating fragment is the only portion of the message that
+is overlapped in pipelined RDMA" -- for both sides.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_micro_series
+from repro.experiments.micro import overlap_sweep
+from repro.mpisim.config import openmpi_like
+
+COMPUTES = [0.0, 0.25e-3, 0.5e-3, 0.75e-3, 1.0e-3, 1.25e-3, 1.5e-3, 1.75e-3]
+MB = 1024 * 1024
+
+
+def test_fig08_isend_irecv_pipelined(benchmark, emit):
+    points = run_once(
+        benchmark,
+        lambda: overlap_sweep(
+            "isend_irecv", MB, COMPUTES, openmpi_like(leave_pinned=False), iters=40
+        ),
+    )
+    emit(
+        "fig08_sender",
+        render_micro_series(points, "sender", "Fig 8 (sender): 1MB pipelined RDMA"),
+    )
+    emit(
+        "fig08_receiver",
+        render_micro_series(points, "receiver", "Fig 8 (receiver): 1MB pipelined RDMA"),
+    )
+    for p in points:
+        assert p.max_pct("sender") < 30.0
+        assert p.max_pct("receiver") < 30.0

@@ -1,0 +1,33 @@
+"""Figure 10: NAS BT overlap characterization (Open MPI, pipelined RDMA).
+
+Claims: BT is dominated by long messages; overlap is lower than CG's
+(checked in fig11); overlap drops for larger problem sizes at small
+processor counts ("since long messages have less potential for overlap,
+observed overlaps drop").
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_nas_char, render_size_breakdown
+from repro.experiments.nas_char import characterize_matrix
+
+KLASSES = ["S", "W", "A"]
+PROCS = [4, 9, 16]
+
+
+def test_fig10_bt(benchmark, emit):
+    points = run_once(
+        benchmark,
+        lambda: characterize_matrix("bt", KLASSES, PROCS, niter=2),
+    )
+    emit("fig10_bt", render_nas_char(points, "Fig 10: NAS BT / Open MPI (process 0)"))
+    emit(
+        "fig10_bt_sizes",
+        render_size_breakdown(points[-1].report, "BT class A, 16 ranks, by size"),
+    )
+    by_cell = {(p.klass, p.nprocs): p for p in points}
+    # Long messages carry most of BT's bytes (class A).
+    bins = by_cell[("A", 4)].report.total.bins.bins
+    assert sum(b.bytes for b in bins[2:]) > sum(b.bytes for b in bins[:2])
+    # Bigger problem at fixed ranks -> lower max overlap (A vs S at 4).
+    assert by_cell[("A", 4)].max_pct <= by_cell[("S", 4)].max_pct + 1.0

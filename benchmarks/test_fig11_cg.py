@@ -1,0 +1,32 @@
+"""Figure 11: NAS CG overlap characterization (Open MPI).
+
+Claims: "CG sends a larger proportion of short messages ...  Consequently
+the overlap results are higher for CG than for BT"; overlap drops for
+larger problems at small processor counts.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_nas_char
+from repro.experiments.nas_char import characterize, characterize_matrix
+
+KLASSES = ["S", "W", "A"]
+PROCS = [4, 8, 16]
+
+
+def test_fig11_cg(benchmark, emit):
+    points = run_once(
+        benchmark,
+        lambda: characterize_matrix("cg", KLASSES, PROCS, niter=2),
+    )
+    emit("fig11_cg", render_nas_char(points, "Fig 11: NAS CG / Open MPI (process 0)"))
+    by_cell = {(p.klass, p.nprocs): p for p in points}
+    # Short messages dominate CG's message count.
+    bins = by_cell[("A", 4)].report.total.bins.bins
+    assert sum(b.count for b in bins[:2]) > sum(b.count for b in bins[2:])
+    # CG overlaps better than BT on the same cell (the Sec. 4.1 ranking).
+    bt = characterize("bt", "A", 4, niter=2)
+    assert by_cell[("A", 4)].max_pct > bt.max_pct
+    # Class B at 4 ranks (long transpose messages) overlaps worse than S.
+    big = characterize("cg", "B", 4, niter=1)
+    assert big.max_pct < by_cell[("S", 4)].max_pct

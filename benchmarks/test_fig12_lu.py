@@ -1,0 +1,34 @@
+"""Figure 12: NAS LU overlap characterization (MVAPICH2).
+
+Claims: "LU overlap numbers are above 70% and increase as the problem
+size is reduced or the processor count is increased.  The non-overlapped
+time is incurred in communicating long messages."
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_nas_char
+from repro.experiments.nas_char import characterize_matrix
+
+KLASSES = ["S", "W", "A"]
+PROCS = [4, 8, 16]
+
+
+def test_fig12_lu(benchmark, emit):
+    points = run_once(
+        benchmark,
+        lambda: characterize_matrix("lu", KLASSES, PROCS, niter=2),
+    )
+    emit("fig12_lu", render_nas_char(points, "Fig 12: NAS LU / MVAPICH2 (process 0)"))
+    by_cell = {(p.klass, p.nprocs): p for p in points}
+    for p in points:
+        assert p.max_pct > 70.0, (p.klass, p.nprocs, p.max_pct)
+    # More ranks at fixed class -> higher (or equal) overlap.
+    assert by_cell[("A", 16)].max_pct >= by_cell[("A", 4)].max_pct - 1.0
+    # Smaller class at fixed ranks -> higher (or equal) overlap.
+    assert by_cell[("S", 4)].max_pct >= by_cell[("A", 4)].max_pct - 1.0
+    # The non-overlapped time sits in the long-message bins.
+    bins = by_cell[("A", 4)].report.total.bins.bins
+    long_nonov = sum(b.xfer_time - b.max_overlap for b in bins[2:])
+    short_nonov = sum(b.xfer_time - b.max_overlap for b in bins[:2])
+    assert long_nonov > short_nonov

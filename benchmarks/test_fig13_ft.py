@@ -1,0 +1,31 @@
+"""Figure 13: NAS FT overlap characterization (MVAPICH2).
+
+Claims: "FT has low scope for overlap ...  Most of the communication in
+FT is done by the Alltoall collective which sends long messages.  These
+transfers do not get overlapped with computation.  The limited amount of
+overlap is due to short messages being exchanged in collectives like
+Reduce and Bcast."
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_nas_char
+from repro.experiments.nas_char import characterize_matrix
+
+KLASSES = ["S", "W", "A"]
+PROCS = [4, 8, 16]
+
+
+def test_fig13_ft(benchmark, emit):
+    points = run_once(
+        benchmark,
+        lambda: characterize_matrix("ft", KLASSES, PROCS, niter=2),
+    )
+    emit("fig13_ft", render_nas_char(points, "Fig 13: NAS FT / MVAPICH2 (process 0)"))
+    for p in points:
+        assert p.max_pct < 35.0, (p.klass, p.nprocs, p.max_pct)
+        assert p.min_pct < 5.0
+    # The limited overlap that exists comes from the short-message bins.
+    bins = points[-1].report.total.bins.bins
+    assert sum(b.max_overlap for b in bins[2:]) == 0.0
+    assert sum(b.max_overlap for b in bins[:2]) > 0.0

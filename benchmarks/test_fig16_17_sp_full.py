@@ -1,0 +1,45 @@
+"""Figures 16 & 17: SP overlap over the *complete code*,
+original vs modified, classes A and B.
+
+Claim: "The gains over the complete code are limited by a substantial
+volume of data being communicated in routine copy_faces with no
+computation to overlap."
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_sp_tuning
+from repro.experiments.sp_tuning import sp_tuning
+
+PROCS = [4, 9, 16]
+
+
+def _check_limited_gains(results):
+    for r in results:
+        full_o, full_m = r.full("original"), r.full("modified")
+        sec_o, sec_m = r.section("original"), r.section("modified")
+        assert full_m.max_overlap_pct > full_o.max_overlap_pct  # still a gain
+        # ... but smaller than the section-level gain (copy_faces dilutes it).
+        full_gain = full_m.max_overlap_pct - full_o.max_overlap_pct
+        sec_gain = sec_m.max_overlap_pct - sec_o.max_overlap_pct
+        assert full_gain < sec_gain
+        # copy_faces transfers stay non-overlapped: full-code max < section max.
+        assert full_m.max_overlap_pct < sec_m.max_overlap_pct
+
+
+def test_fig16_sp_full_class_a(benchmark, emit):
+    results = run_once(benchmark, lambda: [sp_tuning("A", n, niter=2) for n in PROCS])
+    emit(
+        "fig16_sp_full_A",
+        render_sp_tuning(results, "full", "Fig 16: SP class A, complete code"),
+    )
+    _check_limited_gains(results)
+
+
+def test_fig17_sp_full_class_b(benchmark, emit):
+    results = run_once(benchmark, lambda: [sp_tuning("B", n, niter=1) for n in PROCS])
+    emit(
+        "fig17_sp_full_B",
+        render_sp_tuning(results, "full", "Fig 17: SP class B, complete code"),
+    )
+    _check_limited_gains(results)

@@ -1,0 +1,33 @@
+"""Figure 18: SP overall MPI time, original vs modified, classes A and B.
+
+Claim: "The changes still provide a performance benefit with overall MPI
+time showing a drop in all cases and a maximum improvement of close to
+23% with problem size B and 4 processors."
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_sp_tuning
+from repro.experiments.sp_tuning import sp_tuning
+
+CELLS = [("A", 4), ("A", 9), ("A", 16), ("B", 4), ("B", 9), ("B", 16)]
+
+
+def test_fig18_sp_mpi_time(benchmark, emit):
+    results = run_once(
+        benchmark,
+        lambda: [
+            sp_tuning(klass, n, niter=2 if klass == "A" else 1)
+            for klass, n in CELLS
+        ],
+    )
+    emit(
+        "fig18_sp_mpi_time",
+        render_sp_tuning(results, "full", "Fig 18: SP overall MPI time (ms)"),
+    )
+    # MPI time drops in every cell.
+    for r in results:
+        assert r.mpi_time_modified < r.mpi_time_original, (r.klass, r.nprocs)
+        assert r.mpi_time_improvement_pct > 0.0
+    # A sizeable best-case improvement exists (the paper saw ~23%).
+    assert max(r.mpi_time_improvement_pct for r in results) > 15.0

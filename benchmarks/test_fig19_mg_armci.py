@@ -1,0 +1,37 @@
+"""Figure 19: NAS MG on ARMCI, blocking vs non-blocking.
+
+Claim: "The non-blocking code shows very high maximum overlap percentage,
+with 99% overlap being reported for all processor counts with problem
+size B."  The blocking variant, whose transfers begin and end inside one
+call, cannot overlap at all.
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_nas_char
+from repro.experiments.nas_char import characterize_mg
+
+PROCS = [4, 8, 16]
+
+
+def test_fig19_mg_armci(benchmark, emit):
+    def run():
+        points = []
+        # MG classes A and B share the 256^3 grid and differ in iteration
+        # count (4 vs 20); scaled to 1 vs 3 here.
+        for klass, niter in (("A", 1), ("B", 3)):
+            for nprocs in PROCS:
+                for blocking in (True, False):
+                    points.append(
+                        characterize_mg(klass, nprocs, blocking, niter=niter)
+                    )
+        return points
+
+    points = run_once(benchmark, run)
+    emit("fig19_mg_armci", render_nas_char(points, "Fig 19: NAS MG / ARMCI"))
+    for p in points:
+        if p.variant == "blocking":
+            assert p.max_pct == 0.0
+    nb_b = [p for p in points if p.variant == "nonblocking" and p.klass == "B"]
+    for p in nb_b:
+        assert p.max_pct > 95.0, (p.nprocs, p.max_pct)  # the paper's 99%

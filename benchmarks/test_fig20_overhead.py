@@ -1,0 +1,34 @@
+"""Figure 20: instrumentation overhead across the NAS suite.
+
+Claim: "an instrumentation overhead of less than 0.9% of the total
+execution time for all test cases".
+"""
+
+from conftest import run_once
+
+from repro.analysis.tables import render_overhead
+from repro.experiments.overhead import overhead_suite
+
+CELLS = (
+    ("bt", "A", 4),
+    ("bt", "A", 9),
+    ("cg", "A", 4),
+    ("cg", "A", 8),
+    ("lu", "A", 4),
+    ("ft", "A", 4),
+    ("sp", "A", 4),
+    ("sp", "A", 9),
+    ("mg", "A", 4),
+    ("mg", "A", 8),
+)
+
+
+def test_fig20_overhead(benchmark, emit):
+    points = run_once(benchmark, lambda: overhead_suite(cells=CELLS, niter=2))
+    emit(
+        "fig20_overhead",
+        render_overhead(points, "Fig 20: instrumentation overhead (NAS suite)"),
+    )
+    for p in points:
+        assert p.time_instrumented >= p.time_uninstrumented
+        assert p.overhead_pct < 0.9, (p.benchmark, p.overhead_pct)

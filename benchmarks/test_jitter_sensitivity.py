@@ -1,0 +1,72 @@
+"""Robustness EJ1: are the measured bounds artifacts of a perfectly
+regular network?
+
+Real fabrics jitter; the simulator's default wire is exact.  Re-running
+the Fig.-5 operating point under growing seeded latency jitter must keep
+(a) the bounding invariants intact and (b) the measured characterization
+stable -- the framework's conclusions do not depend on clockwork timing.
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.experiments.micro import overlap_sweep
+from repro.mpisim.config import openmpi_like
+from repro.netsim.params import NetworkParams
+
+JITTERS = [0.0, 0.1, 0.3, 0.6]
+SEEDS = range(4)
+
+#: Latency-sensitive operating point: 10 KB eager with 10 us of inserted
+#: computation -- here the +/- microseconds of jitter actually move the
+#: per-message timing, unlike the ms-scale rendezvous points.
+SHORT = 10 * 1024
+COMPUTE = 10e-6
+
+
+def test_jitter_sensitivity(benchmark, emit):
+    def run():
+        out = {}
+        for jitter in JITTERS:
+            params = NetworkParams(latency_jitter_frac=jitter)
+            samples = []
+            # Vary iteration counts to decorrelate the draws (the sweep
+            # fixes the fabric seed; message order shifts the RNG stream).
+            for extra in SEEDS:
+                points = overlap_sweep(
+                    "isend_irecv", SHORT, [COMPUTE], openmpi_like(),
+                    params=params, iters=20 + extra,
+                )
+                samples.append((points[0].min_pct("sender"),
+                                points[0].max_pct("sender"),
+                                points[0].wait_time("receiver")))
+            out[jitter] = samples
+        return out
+
+    results = run_once(benchmark, run)
+    text = ["EJ1: eager 10KB / 10us compute under latency jitter",
+            f"{'jitter':>7} {'mean min%':>10} {'mean max%':>10} "
+            f"{'rcv wait(us)':>13}"]
+    for jitter, samples in results.items():
+        mins = [s[0] for s in samples]
+        maxes = [s[1] for s in samples]
+        waits = [s[2] * 1e6 for s in samples]
+        text.append(
+            f"{jitter:>7.1f} {statistics.mean(mins):>10.1f} "
+            f"{statistics.mean(maxes):>10.1f} "
+            f"{statistics.mean(waits):>13.3f}"
+        )
+    emit("jitter_ej1_sensitivity", "\n".join(text))
+
+    base_max = statistics.mean(s[1] for s in results[0.0])
+    base_wait = statistics.mean(s[2] for s in results[0.0])
+    for jitter, samples in results.items():
+        for lo, hi, _wait in samples:
+            assert 0.0 <= lo <= hi + 1e-9 <= 100.0 + 1e-6
+        # Characterization stays within a few points of the exact wire.
+        assert abs(statistics.mean(s[1] for s in samples) - base_max) < 10.0
+    # The jitter is genuinely active: timing-level metrics (receiver wait)
+    # shift, even though the characterization is robust to it.
+    jittered_wait = statistics.mean(s[2] for s in results[0.6])
+    assert jittered_wait != base_wait

@@ -1,0 +1,28 @@
+"""Scalability ES1: the instrumentation footprint is rank-count invariant.
+
+Paper Sec. 2.4: monitoring is process-local, so per-rank cost must not
+grow with the job.  Weak-scaled ring exchange from 2 to 32 ranks.
+"""
+
+from conftest import run_once
+
+from repro.experiments.scaling import render_scaling, scaling_sweep
+
+PROCS = (2, 4, 8, 16, 32)
+
+
+def test_scaling_instrumentation(benchmark, emit):
+    points = run_once(benchmark, lambda: scaling_sweep(proc_counts=PROCS))
+    emit(
+        "scaling_es1_instrumentation",
+        render_scaling(points, "ES1: per-rank instrumentation footprint vs ranks"),
+    )
+    events = [p.events_per_rank for p in points]
+    # Per-rank event count is flat (within a few % -- startup/finalize only).
+    assert max(events) / min(events) < 1.1
+    # Overhead never exceeds the paper's bound, at any scale.
+    for p in points:
+        assert p.overhead_pct < 0.9, p
+    # The overlap characterization itself is also scale-stable.
+    maxes = [p.max_pct for p in points]
+    assert max(maxes) - min(maxes) < 10.0

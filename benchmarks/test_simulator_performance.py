@@ -1,0 +1,58 @@
+"""Host-performance benchmark: simulation throughput.
+
+Unlike the figure benches (which time one deterministic experiment),
+this one exists for its wall-clock numbers: how many simulated engine
+events per host second the stack sustains on a standard workload.  Run
+with more rounds for stable numbers::
+
+    pytest benchmarks/test_simulator_performance.py --benchmark-only
+"""
+
+from repro.mpisim.config import mvapich2_like
+from repro.nas.base import CpuModel
+from repro.nas.lu import lu_app
+from repro.runtime import run_app
+from repro.sim import Engine
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw kernel: ping-pong timeouts between two coroutines."""
+
+    def run():
+        eng = Engine()
+
+        def worker(n):
+            for _ in range(n):
+                yield eng.timeout(1e-6)
+
+        eng.process(worker(20_000))
+        eng.process(worker(20_000))
+        eng.run()
+        return eng.processed_count
+
+    events = benchmark(run)
+    assert events >= 40_000
+
+
+def test_full_stack_throughput(benchmark, emit):
+    """NAS LU on the full stack (protocols + instrumentation)."""
+
+    def run():
+        result = run_app(
+            lu_app, 4, config=mvapich2_like(),
+            app_args=("A", 2, CpuModel(), None),
+        )
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    stats = benchmark.stats.stats
+    events = sum(r.event_count for r in result.reports)
+    emit(
+        "simulator_performance",
+        "simulator throughput (LU class A, 4 ranks, 2 iterations):\n"
+        f"  host time per run     {stats.mean * 1e3:.1f} ms\n"
+        f"  instrumented events   {events}\n"
+        f"  simulated time        {result.elapsed * 1e3:.1f} ms",
+    )
+    # Loose floor so CI-class machines pass; catches 10x regressions only.
+    assert stats.mean < 30.0

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""One-sided overlap: NAS MG on ARMCI, blocking vs non-blocking (Fig. 19).
+
+The blocking variant's puts begin and end inside one ARMCI_Put -- the
+framework proves zero overlap.  The non-blocking variant issues the next
+dimension's ghost updates before smoothing the current dimension and
+reaches ~99% maximum overlap, reproducing the paper's explanation for why
+the non-blocking MG port was faster.
+
+Run:  python examples/armci_overlap.py
+"""
+
+from repro.analysis import render_nas_char
+from repro.experiments.nas_char import characterize_mg
+
+
+def main():
+    points = []
+    for blocking in (True, False):
+        for nprocs in (4, 8, 16):
+            points.append(
+                characterize_mg("A", nprocs, blocking=blocking, niter=1)
+            )
+    print(render_nas_char(points, "NAS MG class A on simulated ARMCI:"))
+    print()
+    blocking_max = max(p.max_pct for p in points if p.variant == "blocking")
+    nb_min_bound = min(p.min_pct for p in points if p.variant == "nonblocking")
+    print(f"blocking puts:     max overlap bound {blocking_max:.1f}% "
+          "(the transfer always completes inside the Put call)")
+    print(f"non-blocking puts: even the *guaranteed* overlap is "
+          f"{nb_min_bound:.1f}%+ -- latency genuinely hidden")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare rendezvous protocols with the overlap microbenchmark (Sec. 3).
+
+Sweeps inserted computation for a 1 MiB Isend-Recv exchange under the
+three long-message schemes -- Open MPI's pipelined RDMA, direct RDMA
+(``mpi_leave_pinned``), and single-shot RDMA Write -- and plots the
+sender's maximum overlap bound and MPI_Wait time as ASCII charts
+(the shapes of the paper's Figs. 4 and 5).
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro.analysis import ascii_plot, render_micro_series
+from repro.experiments.micro import overlap_sweep
+from repro.mpisim.config import MpiConfig, openmpi_like
+
+MB = 1024 * 1024
+COMPUTES = [0.0, 0.25e-3, 0.5e-3, 0.75e-3, 1.0e-3, 1.25e-3, 1.5e-3, 1.75e-3]
+
+CONFIGS = {
+    "pipelined": openmpi_like(leave_pinned=False),
+    "direct (rget)": openmpi_like(leave_pinned=True),
+    "rput": MpiConfig(name="rput", eager_limit=64 * 1024, rndv_mode="rput"),
+}
+
+
+def main():
+    max_series = {}
+    wait_series = {}
+    for name, cfg in CONFIGS.items():
+        points = overlap_sweep("isend_recv", MB, COMPUTES, cfg, iters=40)
+        max_series[name] = [p.max_pct("sender") for p in points]
+        wait_series[name] = [p.wait_time("sender") * 1e3 for p in points]
+        print(render_micro_series(points, "sender", f"--- {name} ---"))
+        print()
+
+    x_ms = [c * 1e3 for c in COMPUTES]
+    print(ascii_plot(max_series, x_ms,
+                     title="sender max overlap (%) vs compute (ms)",
+                     y_label="max %"))
+    print()
+    print(ascii_plot(wait_series, x_ms,
+                     title="sender MPI_Wait time (ms) vs compute (ms)",
+                     y_label="wait ms"))
+    print()
+    print("Reading: direct RDMA climbs to ~100% overlap and its wait time")
+    print("collapses; pipelined RDMA stays flat at the first-fragment share;")
+    print("rput sits between (the write starts only once the CTS is drained).")
+
+
+if __name__ == "__main__":
+    main()

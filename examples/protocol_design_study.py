@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Use the framework to evaluate protocol designs (paper Sec. 5 claim).
+
+"Our technique can be used for evaluating different algorithm designs on
+different systems."  This study asks a concrete design question a
+middleware author faces: for long messages, should the rendezvous move
+data with an RDMA Read (receiver pulls) or an RDMA Write (sender pushes
+after a CTS)?  The answer depends on *which side has computation to
+hide* -- and the overlap bounds expose exactly that, where a latency
+benchmark alone would call the two designs near-identical.
+
+Run:  python examples/protocol_design_study.py
+"""
+
+from repro.mpisim.config import MpiConfig
+from repro.runtime import run_app
+
+MB = 1024 * 1024
+
+RGET = MpiConfig(name="rget", eager_limit=16 * 1024, rndv_mode="rget",
+                 leave_pinned=True)
+RPUT = MpiConfig(name="rput", eager_limit=16 * 1024, rndv_mode="rput",
+                 leave_pinned=True)
+
+
+def busy_sender(ctx):
+    """The sender computes; the receiver is a service loop (blocking)."""
+    for _ in range(30):
+        if ctx.rank == 0:
+            req = yield from ctx.comm.isend(1, 0, MB, bufkey="b")
+            yield from ctx.compute(1.6e-3)
+            yield from ctx.comm.wait(req)
+        else:
+            yield from ctx.comm.recv(0, 0)
+
+
+def busy_receiver(ctx):
+    """The receiver computes between Irecv and Wait; the sender is a
+    service loop feeding it."""
+    for _ in range(30):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, 0, MB, bufkey="b")
+        else:
+            req = yield from ctx.comm.irecv(0, 0)
+            yield from ctx.compute(1.6e-3)
+            # A single probe keeps the polling engine honest mid-compute.
+            yield from ctx.comm.iprobe(0, 0)
+            yield from ctx.compute(1.6e-3)
+            yield from ctx.comm.wait(req)
+
+
+def measure(app, side):
+    rows = {}
+    for config in (RGET, RPUT):
+        result = run_app(app, 2, config=config)
+        rep = result.report(side)
+        rows[config.name] = (
+            rep.total.min_overlap_pct,
+            rep.total.max_overlap_pct,
+            rep.mean_call_time("MPI_Wait") * 1e6,
+            result.elapsed * 1e3,
+        )
+    return rows
+
+
+def show(title, rows):
+    print(title)
+    print(f"  {'design':>6} {'min%':>7} {'max%':>7} {'wait(us)':>10} {'total(ms)':>10}")
+    for name, (mn, mx, wait, total) in rows.items():
+        print(f"  {name:>6} {mn:>7.1f} {mx:>7.1f} {wait:>10.1f} {total:>10.2f}")
+    print()
+
+
+def main():
+    print("design question: RDMA Read (receiver pulls) vs RDMA Write "
+          "(sender pushes after CTS)?\n")
+    show("scenario A -- the SENDER has computation to hide (sender's report):",
+         measure(busy_sender, side=0))
+    show("scenario B -- the RECEIVER has computation to hide (receiver's report):",
+         measure(busy_receiver, side=1))
+    print("Reading: with a busy sender, rget wins outright -- the receiver's")
+    print("continuous polling starts the read immediately and the sender's")
+    print("bounds go to ~100%.  With a busy receiver, BOTH designs need the")
+    print("receiver's progress engine (to post the read, or to send the CTS),")
+    print("so the probe placement -- not the verb choice -- decides the")
+    print("overlap.  A pure latency comparison would have missed all of this.")
+
+
+if __name__ == "__main__":
+    main()

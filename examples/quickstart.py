@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: measure computation-communication overlap of a tiny app.
+
+Two simulated ranks exchange a 1 MiB message with Isend-compute-Wait; the
+instrumented library derives lower and upper bounds on how much of the
+transfer was hidden behind the computation, and we print each rank's
+overlap report -- the per-process output file of the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.mpisim import openmpi_like
+from repro.runtime import run_app
+
+
+def app(ctx):
+    """One simulated MPI rank (a generator coroutine)."""
+    payload = np.arange(131_072, dtype=np.float64)  # 1 MiB of doubles
+    if ctx.rank == 0:
+        # Sender: start the transfer, compute for 2 ms, then complete it.
+        req = yield from ctx.comm.isend(1, tag=7, nbytes=payload.nbytes,
+                                        data=payload, bufkey="payload")
+        yield from ctx.compute(2e-3)
+        yield from ctx.comm.wait(req)
+    else:
+        # Receiver: a plain blocking receive.
+        status, data = yield from ctx.comm.recv(0, tag=7)
+        assert status.nbytes == payload.nbytes
+        np.testing.assert_array_equal(data, payload)
+
+
+def main():
+    # mpi_leave_pinned selects the direct-RDMA rendezvous, which can
+    # actually overlap -- try leave_pinned=False to watch the bounds drop.
+    result = run_app(app, nprocs=2, config=openmpi_like(leave_pinned=True),
+                     label="quickstart")
+    for rank in range(2):
+        print(result.report(rank).render_text())
+        print()
+    sender = result.report(0).total
+    print(f"sender hid at least {sender.min_overlap_pct:.0f}% and at most "
+          f"{sender.max_overlap_pct:.0f}% of its data transfer time "
+          f"behind computation")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Sub-communicators + traffic diagnostics on a 2-D stencil.
+
+A 4x2 process grid splits the world communicator into row and column
+communicators (MPI_Comm_split).  Halo exchanges travel point-to-point
+in the world communicator; row-wise partial reductions and a global
+residual run inside the sub-communicators -- contexts keep all three
+traffic classes from ever cross-matching, even on identical tags.
+
+The ground-truth traffic matrix at the end shows the resulting
+communication topology.
+
+Run:  python examples/subcommunicators.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_traffic_matrix, traffic_matrix
+from repro.mpisim import mvapich2_like
+from repro.runtime import run_app
+
+PX, PY = 4, 2
+GRID = 1024
+STEPS = 4
+TAG = 1  # deliberately the same tag everywhere: contexts disambiguate
+
+
+def stencil_app(ctx):
+    row, col = divmod(ctx.rank, PY)
+    row_comm = yield from ctx.comm.split(color=row)   # size PY
+    col_comm = yield from ctx.comm.split(color=col)   # size PX
+    assert row_comm.size == PY and col_comm.size == PX
+
+    halo_bytes = GRID // PY * 8
+    up = (row - 1) * PY + col if row > 0 else None
+    down = (row + 1) * PY + col if row < PX - 1 else None
+    compute_time = (GRID // PX) * (GRID // PY) * 6 / 400e6
+
+    residual = None
+    for _step in range(STEPS):
+        # Halo exchange in the world communicator.
+        reqs = []
+        for nb in (up, down):
+            if nb is not None:
+                reqs.append((yield from ctx.comm.irecv(nb, TAG)))
+        for nb in (up, down):
+            if nb is not None:
+                reqs.append((yield from ctx.comm.isend(nb, TAG, halo_bytes)))
+        yield from ctx.compute(compute_time)
+        yield from ctx.comm.waitall(reqs)
+        # Row-wise partial sums (e.g. line relaxation pivots).
+        row_sum = yield from row_comm.allreduce(float(ctx.rank), 8)
+        assert row_sum == sum(row * PY + c for c in range(PY))
+        # Column-wise max (e.g. CFL condition).
+        col_max = yield from col_comm.allreduce(float(ctx.rank), 8, op=max)
+        assert col_max == (PX - 1) * PY + col
+        # Global residual.
+        residual = yield from ctx.comm.allreduce(1.0, 8)
+        assert residual == ctx.size
+    return residual
+
+
+def main():
+    result = run_app(stencil_app, PX * PY, config=mvapich2_like(),
+                     record_transfers=True, label="stencil2d")
+    report = result.report(0)
+    print(report.render_text())
+    print()
+    matrix = traffic_matrix(result.fabric)
+    print(render_traffic_matrix(matrix, "payload traffic matrix (KiB):"))
+    print()
+    # The halo pattern is visible: rank r talks to r +/- PY (its column
+    # neighbours), plus the collective trees.
+    halo_pairs = int(np.count_nonzero(matrix))
+    print(f"{halo_pairs} communicating pairs across halos + 3 communicators;")
+    print("identical tags throughout -- communicator contexts kept them apart.")
+
+
+if __name__ == "__main__":
+    main()

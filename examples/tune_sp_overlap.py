@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The paper's Sec. 4.3 story: diagnose and repair overlap in NAS SP.
+
+1.  Run the original SP and read the framework's diagnosis: the
+    overlapping section's transfers resolve as case 1 (begin and end in
+    the same MPI_Wait) -- the explicit Irecv-compute-Wait overlap attempt
+    is not working, because the polling progress engine never sees the
+    rendezvous RTS during the computation.
+2.  Apply the fix: insert MPI_Iprobe calls into the computation region.
+3.  Re-measure: the section's bounds jump, and overall MPI time drops.
+
+Run:  python examples/tune_sp_overlap.py
+"""
+
+from repro.analysis import render_size_breakdown, render_sp_tuning
+from repro.experiments.sp_tuning import iprobe_placement_sweep, sp_tuning
+from repro.nas.sp import OVERLAP_SECTION
+
+
+def main():
+    print("running NAS SP class A on 4 simulated ranks (MVAPICH2-like)...")
+    result = sp_tuning("A", 4, niter=2, iprobe_calls=4)
+
+    sec = result.section("original")
+    print("\n-- diagnosis (original code, overlapping section) --")
+    print(f"  transfers: {sec.transfer_count}, resolved as "
+          f"case1={sec.case_counts[1]} case2={sec.case_counts[2]} "
+          f"case3={sec.case_counts[3]}")
+    print(f"  overlap bounds: [{sec.min_overlap_pct:.1f}%, "
+          f"{sec.max_overlap_pct:.1f}%]")
+    print(f"  non-overlapped transfer time >= "
+          f"{sec.min_nonoverlapped_time * 1e3:.3f} ms")
+    print("  -> the receiver-side messages complete entirely inside MPI_Wait:")
+    print("     the overlap the code structure attempts is not happening.")
+    print()
+    print(render_size_breakdown(result.original,
+                                "original, whole code, by message size:"))
+
+    print("\n-- fix: 4 Iprobe calls inside the computation region --")
+    print(render_sp_tuning([result], "section",
+                           f"section {OVERLAP_SECTION!r}:"))
+    print()
+    print(render_sp_tuning([result], "full", "complete code:"))
+    print(f"\noverall MPI time: {result.mpi_time_original * 1e3:.2f} ms -> "
+          f"{result.mpi_time_modified * 1e3:.2f} ms "
+          f"({result.mpi_time_improvement_pct:.1f}% better)")
+
+    print("\n-- how many probes are needed? --")
+    for r in iprobe_placement_sweep("A", 4, counts=(0, 1, 2, 4, 8), niter=1):
+        m = r.section("modified")
+        print(f"  {r.iprobe_calls:>2} probes: section max overlap "
+              f"{m.max_overlap_pct:5.1f}%  MPI time "
+              f"{r.mpi_time_modified * 1e3:7.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Reproduction of the CLUSTER 2006 overlap instrumentation framework.
+
+Top-level convenience re-exports; see the subpackage docstrings for the
+full map (``repro.core`` is the paper's contribution, everything else is
+the evaluation substrate).
+"""
+
+from repro.core import Monitor, OverlapMeasures, OverlapReport, XferTable
+from repro.mpisim import MpiConfig, mvapich2_like, openmpi_like
+from repro.netsim import NetworkParams
+from repro.runtime import RunResult, run_app
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Monitor",
+    "MpiConfig",
+    "NetworkParams",
+    "OverlapMeasures",
+    "OverlapReport",
+    "RunResult",
+    "XferTable",
+    "__version__",
+    "mvapich2_like",
+    "openmpi_like",
+    "run_app",
+]

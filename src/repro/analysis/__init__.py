@@ -1,0 +1,33 @@
+"""Rendering experiment records as the paper's tables and figure series."""
+
+from repro.analysis.interpret import Interpretation, interpret, render_interpretation
+from repro.analysis.tables import (
+    micro_series_rows,
+    render_micro_series,
+    render_nas_char,
+    render_overhead,
+    render_size_breakdown,
+    render_sp_tuning,
+)
+from repro.analysis.textplot import ascii_plot
+from repro.analysis.traffic import (
+    message_counts,
+    render_traffic_matrix,
+    traffic_matrix,
+)
+
+__all__ = [
+    "Interpretation",
+    "ascii_plot",
+    "interpret",
+    "message_counts",
+    "render_interpretation",
+    "render_traffic_matrix",
+    "traffic_matrix",
+    "micro_series_rows",
+    "render_micro_series",
+    "render_nas_char",
+    "render_overhead",
+    "render_size_breakdown",
+    "render_sp_tuning",
+]

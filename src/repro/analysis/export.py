@@ -1,0 +1,126 @@
+"""CSV export of experiment records (for external plotting stacks).
+
+Every experiment driver returns structured records; these functions
+flatten them into CSV with stable column names so the series can be fed
+to pandas/gnuplot/spreadsheets without touching Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.micro import MicroPoint
+    from repro.experiments.nas_char import CharPoint
+    from repro.experiments.overhead import OverheadPoint
+    from repro.experiments.sp_tuning import SpTuningResult
+
+
+def _write(rows: list[dict], fieldnames: list[str],
+           path: "str | os.PathLike | None") -> str:
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames, lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
+    text = buf.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return text
+
+
+def micro_csv(
+    points: "typing.Sequence[MicroPoint]",
+    path: "str | os.PathLike | None" = None,
+) -> str:
+    """Figs. 3-9 series: one row per (compute point, side)."""
+    rows = []
+    for p in points:
+        for side in ("sender", "receiver"):
+            rows.append({
+                "compute_s": p.compute_time,
+                "side": side,
+                "min_overlap_pct": p.min_pct(side),
+                "max_overlap_pct": p.max_pct(side),
+                "mean_wait_s": p.wait_time(side),
+                "data_transfer_s": p.side(side).total.data_transfer_time,
+            })
+    return _write(rows, list(rows[0]) if rows else
+                  ["compute_s", "side", "min_overlap_pct",
+                   "max_overlap_pct", "mean_wait_s", "data_transfer_s"], path)
+
+
+def nas_char_csv(
+    points: "typing.Sequence[CharPoint]",
+    path: "str | os.PathLike | None" = None,
+) -> str:
+    """Figs. 10-13/19 grids: one row per (benchmark, class, procs, variant)."""
+    rows = []
+    for p in points:
+        m = p.report.total
+        rows.append({
+            "benchmark": p.benchmark,
+            "class": p.klass,
+            "nprocs": p.nprocs,
+            "variant": p.variant or "",
+            "min_overlap_pct": m.min_overlap_pct,
+            "max_overlap_pct": m.max_overlap_pct,
+            "data_transfer_s": m.data_transfer_time,
+            "mpi_time_s": m.communication_call_time,
+            "computation_s": m.computation_time,
+            "transfers": m.transfer_count,
+        })
+    return _write(rows, list(rows[0]) if rows else
+                  ["benchmark", "class", "nprocs", "variant",
+                   "min_overlap_pct", "max_overlap_pct", "data_transfer_s",
+                   "mpi_time_s", "computation_s", "transfers"], path)
+
+
+def sp_tuning_csv(
+    results: "typing.Sequence[SpTuningResult]",
+    path: "str | os.PathLike | None" = None,
+) -> str:
+    """Figs. 14-18: one row per (class, procs, variant, scope)."""
+    rows = []
+    for r in results:
+        for variant in ("original", "modified"):
+            for scope, get in (("section", r.section), ("full", r.full)):
+                m = get(variant)
+                rows.append({
+                    "class": r.klass,
+                    "nprocs": r.nprocs,
+                    "variant": variant,
+                    "scope": scope,
+                    "min_overlap_pct": m.min_overlap_pct,
+                    "max_overlap_pct": m.max_overlap_pct,
+                    "mpi_time_s": (r.mpi_time_original if variant == "original"
+                                   else r.mpi_time_modified),
+                })
+    return _write(rows, list(rows[0]) if rows else
+                  ["class", "nprocs", "variant", "scope", "min_overlap_pct",
+                   "max_overlap_pct", "mpi_time_s"], path)
+
+
+def overhead_csv(
+    points: "typing.Sequence[OverheadPoint]",
+    path: "str | os.PathLike | None" = None,
+) -> str:
+    """Fig. 20: one row per benchmark cell."""
+    rows = [
+        {
+            "benchmark": p.benchmark,
+            "class": p.klass,
+            "nprocs": p.nprocs,
+            "time_instrumented_s": p.time_instrumented,
+            "time_uninstrumented_s": p.time_uninstrumented,
+            "events": p.events,
+            "overhead_pct": p.overhead_pct,
+        }
+        for p in points
+    ]
+    return _write(rows, list(rows[0]) if rows else
+                  ["benchmark", "class", "nprocs", "time_instrumented_s",
+                   "time_uninstrumented_s", "events", "overhead_pct"], path)

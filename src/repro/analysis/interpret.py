@@ -1,0 +1,140 @@
+"""Interpreting the derived measures (paper Sec. 2.3).
+
+The bounds are only useful if a developer can act on them.  This module
+encodes the paper's reading rules:
+
+* ``data transfer time - max overlapped transfer time`` is communication
+  that *provably* was not hidden -- "an indicator of overall application
+  performance loss";
+* the min bound is "a clear savings in execution time due to achieved
+  overlap";
+* the size breakdown "will reveal the particular message transfers that
+  are affecting application performance the most";
+* a large case-1 share means transfers complete inside single calls --
+  the structural signature of a failed overlap attempt (the SP story).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.measures import CASE_SAME_CALL, OverlapMeasures
+from repro.core.report import OverlapReport
+
+
+@dataclasses.dataclass
+class Interpretation:
+    """Actionable summary of one report (or one section of it)."""
+
+    scope: str
+    #: Provably non-hidden communication (s): the performance-loss indicator.
+    min_nonoverlapped_time: float
+    #: Communication guaranteed hidden (s): realized savings.
+    guaranteed_savings: float
+    #: Extra savings available if the max bound were realized (s).
+    potential_further_savings: float
+    #: Fraction of the run's wall time that is provably non-hidden comm.
+    loss_fraction_of_wall: float
+    #: Share of transfers that completed inside a single call (case 1).
+    same_call_share: float
+    #: The size-range label responsible for most non-overlapped time.
+    dominant_loss_range: str | None
+    #: Heuristic advice strings, most important first.
+    advice: list[str]
+
+
+def _dominant_loss_range(measures: OverlapMeasures) -> str | None:
+    worst, worst_loss = None, 0.0
+    for i, b in enumerate(measures.bins.bins):
+        loss = b.xfer_time - b.max_overlap
+        if loss > worst_loss:
+            worst_loss = loss
+            worst = measures.bins.label_for(i)
+    return worst
+
+
+def interpret(
+    report: OverlapReport, section: str | None = None
+) -> Interpretation:
+    """Build the actionable summary for the whole run or one section."""
+    if section is None:
+        measures = report.total
+        scope = "<total>"
+    else:
+        try:
+            measures = report.sections[section]
+        except KeyError:
+            raise ValueError(
+                f"no section {section!r}; have {sorted(report.sections)}"
+            ) from None
+        scope = section
+    loss = measures.min_nonoverlapped_time
+    realized = measures.min_overlap_time
+    potential = measures.max_overlap_time - measures.min_overlap_time
+    wall = report.wall_time
+    same_call = (
+        measures.case_counts[CASE_SAME_CALL] / measures.transfer_count
+        if measures.transfer_count
+        else 0.0
+    )
+
+    advice: list[str] = []
+    if measures.transfer_count == 0:
+        advice.append("no data transfers observed in this scope")
+    else:
+        if same_call >= 0.5:
+            advice.append(
+                "most transfers begin and end inside a single library call "
+                "(case 1): restructure with non-blocking calls, or add "
+                "progress calls (e.g. MPI_Iprobe) so transfers can start "
+                "before the wait"
+            )
+        if wall > 0 and loss / wall > 0.1:
+            advice.append(
+                f"non-overlapped communication is "
+                f"{100 * loss / wall:.0f}% of wall time: a first-order "
+                "optimization target"
+            )
+        if potential > realized and potential > 0:
+            advice.append(
+                "the bounds are wide (much case-3 uncertainty): add "
+                "instrumentation coverage or library support to narrow them"
+            )
+        dominant = _dominant_loss_range(measures)
+        if dominant is not None:
+            advice.append(
+                f"losses concentrate in the {dominant} size range: tune the "
+                "protocol (eager threshold, pipelining) or restructure those "
+                "transfers first"
+            )
+        if not advice:
+            advice.append("overlap is healthy in this scope")
+
+    return Interpretation(
+        scope=scope,
+        min_nonoverlapped_time=loss,
+        guaranteed_savings=realized,
+        potential_further_savings=potential,
+        loss_fraction_of_wall=loss / wall if wall > 0 else 0.0,
+        same_call_share=same_call,
+        dominant_loss_range=_dominant_loss_range(measures),
+        advice=advice,
+    )
+
+
+def render_interpretation(interp: Interpretation) -> str:
+    """Human-readable version of :func:`interpret`'s output."""
+    lines = [
+        f"interpretation ({interp.scope}):",
+        f"  provably non-hidden communication  {interp.min_nonoverlapped_time * 1e3:.3f} ms "
+        f"({100 * interp.loss_fraction_of_wall:.1f}% of wall time)",
+        f"  guaranteed overlap savings         {interp.guaranteed_savings * 1e3:.3f} ms",
+        f"  further potential (bound width)    {interp.potential_further_savings * 1e3:.3f} ms",
+        f"  same-call (case 1) transfer share  {100 * interp.same_call_share:.0f}%",
+    ]
+    if interp.dominant_loss_range:
+        lines.append(f"  dominant loss size range           {interp.dominant_loss_range}")
+    for item in interp.advice:
+        lines.append(f"  -> {item}")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Text tables reproducing each figure's data series.
+
+The paper presents line plots (Figs. 3-9) and grouped bars (Figs. 10-20);
+without a plotting stack we print the exact series those figures encode,
+one row per x-position, so shapes can be read and diffed.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.measures import OverlapMeasures
+from repro.core.report import OverlapReport
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.micro import MicroPoint
+    from repro.experiments.nas_char import CharPoint
+    from repro.experiments.overhead import OverheadPoint
+    from repro.experiments.sp_tuning import SpTuningResult
+
+
+# ---------------------------------------------------------------------------
+# Figures 3-9: microbenchmark sweeps
+# ---------------------------------------------------------------------------
+def micro_series_rows(
+    points: "typing.Sequence[MicroPoint]", side: str
+) -> list[dict[str, float]]:
+    """Numeric series of one microbenchmark figure for one side."""
+    return [
+        {
+            "compute_us": p.compute_time * 1e6,
+            "min_overlap_pct": p.min_pct(side),
+            "max_overlap_pct": p.max_pct(side),
+            "wait_us": p.wait_time(side) * 1e6,
+        }
+        for p in points
+    ]
+
+
+def render_micro_series(
+    points: "typing.Sequence[MicroPoint]",
+    side: str,
+    title: str = "",
+) -> str:
+    """One figure's series as an aligned text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'compute(us)':>12} {'min ovlp %':>10} {'max ovlp %':>10} {'wait(us)':>12}"
+    )
+    for row in micro_series_rows(points, side):
+        lines.append(
+            f"{row['compute_us']:>12.1f} {row['min_overlap_pct']:>10.1f} "
+            f"{row['max_overlap_pct']:>10.1f} {row['wait_us']:>12.1f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figures 10-13, 19: NAS characterization
+# ---------------------------------------------------------------------------
+def render_nas_char(points: "typing.Sequence[CharPoint]", title: str = "") -> str:
+    """Grouped-bar data: one row per (class, nprocs[, variant])."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'class':>5} {'procs':>5} {'variant':>12} {'min ovlp %':>10} "
+        f"{'max ovlp %':>10} {'xfer(ms)':>10} {'mpi(ms)':>10}"
+    )
+    for p in points:
+        m = p.report.total
+        lines.append(
+            f"{p.klass:>5} {p.nprocs:>5} {p.variant or '-':>12} "
+            f"{m.min_overlap_pct:>10.1f} {m.max_overlap_pct:>10.1f} "
+            f"{m.data_transfer_time * 1e3:>10.3f} "
+            f"{m.communication_call_time * 1e3:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_size_breakdown(report: OverlapReport, title: str = "") -> str:
+    """The per-message-size-range detail the framework provides (Sec. 2.3)."""
+    lines = []
+    if title:
+        lines.append(title)
+    bins = report.total.bins
+    lines.append(
+        f"{'size range':>18} {'count':>8} {'bytes':>14} {'xfer(ms)':>10} "
+        f"{'min %':>7} {'max %':>7}"
+    )
+    for i, b in enumerate(bins.bins):
+        if not b.count:
+            continue
+        pmin = 100.0 * b.min_overlap / b.xfer_time if b.xfer_time else 0.0
+        pmax = 100.0 * b.max_overlap / b.xfer_time if b.xfer_time else 0.0
+        lines.append(
+            f"{bins.label_for(i):>18} {b.count:>8} {b.bytes:>14.0f} "
+            f"{b.xfer_time * 1e3:>10.3f} {pmin:>7.1f} {pmax:>7.1f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figures 14-18: SP tuning
+# ---------------------------------------------------------------------------
+def render_sp_tuning(
+    results: "typing.Sequence[SpTuningResult]",
+    scope: str = "section",
+    title: str = "",
+) -> str:
+    """Original-vs-modified overlap (scope='section' or 'full') and MPI time."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'class':>5} {'procs':>5} "
+        f"{'orig min%':>9} {'orig max%':>9} {'mod min%':>9} {'mod max%':>9} "
+        f"{'mpi orig(ms)':>13} {'mpi mod(ms)':>12} {'gain %':>7}"
+    )
+    for r in results:
+        get: typing.Callable[[str], OverlapMeasures] = (
+            r.section if scope == "section" else r.full
+        )
+        o, m = get("original"), get("modified")
+        lines.append(
+            f"{r.klass:>5} {r.nprocs:>5} "
+            f"{o.min_overlap_pct:>9.1f} {o.max_overlap_pct:>9.1f} "
+            f"{m.min_overlap_pct:>9.1f} {m.max_overlap_pct:>9.1f} "
+            f"{r.mpi_time_original * 1e3:>13.3f} "
+            f"{r.mpi_time_modified * 1e3:>12.3f} "
+            f"{r.mpi_time_improvement_pct:>7.1f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure 20: instrumentation overhead
+# ---------------------------------------------------------------------------
+def render_overhead(points: "typing.Sequence[OverheadPoint]", title: str = "") -> str:
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'bench':>6} {'class':>5} {'procs':>5} {'instr(ms)':>12} "
+        f"{'plain(ms)':>12} {'events':>8} {'overhead %':>10}"
+    )
+    for p in points:
+        lines.append(
+            f"{p.benchmark:>6} {p.klass:>5} {p.nprocs:>5} "
+            f"{p.time_instrumented * 1e3:>12.3f} "
+            f"{p.time_uninstrumented * 1e3:>12.3f} "
+            f"{p.events:>8} {p.overhead_pct:>10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Minimal ASCII line plots for reading sweep shapes in a terminal."""
+
+from __future__ import annotations
+
+import typing
+
+
+def ascii_plot(
+    series: dict[str, typing.Sequence[float]],
+    x: typing.Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more named series against shared x values.
+
+    Each series gets a marker from ``*+o#@%`` in declaration order.
+    Returns a multi-line string; y is auto-scaled to the data range.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length {len(ys)} != x length {len(x)}")
+    if len(x) < 2:
+        raise ValueError("need at least two x positions")
+
+    markers = "*+o#@%"
+    all_y = [v for ys in series.values() for v in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x), max(x)
+    if x_max == x_min:
+        raise ValueError("x values are all equal")
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = markers[si % len(markers)]
+        for xv, yv in zip(x, ys):
+            cx = round((xv - x_min) / (x_max - x_min) * (width - 1))
+            cy = round((yv - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - cy][cx] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    top = f"{y_max:.4g}"
+    bottom = f"{y_min:.4g}"
+    label_w = max(len(top), len(bottom), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top
+        elif i == height - 1:
+            label = bottom
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_w}} |{''.join(row)}")
+    lines.append(f"{'':>{label_w}} +{'-' * width}")
+    lines.append(f"{'':>{label_w}}  {x_min:<.4g}{'':^{max(0, width - 16)}}{x_max:>.4g}")
+    return "\n".join(lines)

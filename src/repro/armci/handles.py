@@ -1,0 +1,32 @@
+"""Non-blocking ARMCI request handles."""
+
+from __future__ import annotations
+
+
+class NbHandle:
+    """Handle returned by ``nbput`` / ``nbget`` / ``nbacc``.
+
+    Completion is observed by draining the local completion queue inside
+    some later ARMCI call (``wait``, ``fence``, or any other call that
+    polls) -- never asynchronously.
+    """
+
+    __slots__ = ("op", "target", "nbytes", "done", "data")
+
+    def __init__(self, op: str, target: int, nbytes: float) -> None:
+        self.op = op
+        self.target = target
+        self.nbytes = nbytes
+        self.done = False
+        #: For gets: the data read from the target (set at completion).
+        self.data: object = None
+
+    def complete(self, data: object = None) -> None:
+        if self.done:
+            raise RuntimeError(f"{self!r} completed twice")
+        self.done = True
+        self.data = data
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"<NbHandle {self.op}->{self.target} {self.nbytes}B {state}>"

@@ -1,0 +1,98 @@
+"""Comparing overlap reports: the Sec. 2.3 tuning workflow as a tool.
+
+"The impact of code changes on values of both bounds is a useful
+indicator of the effectiveness of those changes from an overlap
+standpoint."  :func:`diff_reports` computes exactly that impact between a
+baseline and a modified run (per total, per section, per size range), and
+:func:`render_diff` prints it the way the SP study reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.measures import OverlapMeasures
+from repro.core.report import OverlapReport
+
+
+@dataclasses.dataclass
+class MeasureDelta:
+    """Change in one scope's measures between two runs."""
+
+    scope: str
+    min_pct_before: float
+    min_pct_after: float
+    max_pct_before: float
+    max_pct_after: float
+    xfer_before: float
+    xfer_after: float
+    call_time_before: float
+    call_time_after: float
+
+    @property
+    def min_pct_delta(self) -> float:
+        return self.min_pct_after - self.min_pct_before
+
+    @property
+    def max_pct_delta(self) -> float:
+        return self.max_pct_after - self.max_pct_before
+
+    @property
+    def call_time_delta_pct(self) -> float:
+        """Percent change of in-library time (negative = improvement)."""
+        if self.call_time_before <= 0:
+            return 0.0
+        return 100.0 * (self.call_time_after / self.call_time_before - 1.0)
+
+    @property
+    def improved(self) -> bool:
+        """Did the change raise either bound without hurting the other?"""
+        return (
+            self.min_pct_delta >= -1e-9
+            and self.max_pct_delta >= -1e-9
+            and (self.min_pct_delta > 0 or self.max_pct_delta > 0)
+        )
+
+
+def _delta(scope: str, before: OverlapMeasures, after: OverlapMeasures) -> MeasureDelta:
+    return MeasureDelta(
+        scope=scope,
+        min_pct_before=before.min_overlap_pct,
+        min_pct_after=after.min_overlap_pct,
+        max_pct_before=before.max_overlap_pct,
+        max_pct_after=after.max_overlap_pct,
+        xfer_before=before.data_transfer_time,
+        xfer_after=after.data_transfer_time,
+        call_time_before=before.communication_call_time,
+        call_time_after=after.communication_call_time,
+    )
+
+
+def diff_reports(
+    before: OverlapReport, after: OverlapReport
+) -> list[MeasureDelta]:
+    """Deltas for the whole run and for every section present in both."""
+    deltas = [_delta("<total>", before.total, after.total)]
+    for name in sorted(set(before.sections) & set(after.sections)):
+        deltas.append(_delta(name, before.sections[name], after.sections[name]))
+    return deltas
+
+
+def render_diff(deltas: typing.Sequence[MeasureDelta], title: str = "") -> str:
+    """Human-readable before/after table."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'scope':>16} {'min%':>13} {'max%':>13} {'lib time':>9} {'verdict':>9}"
+    )
+    for d in deltas:
+        lines.append(
+            f"{d.scope:>16} "
+            f"{d.min_pct_before:5.1f}->{d.min_pct_after:5.1f} "
+            f"{d.max_pct_before:5.1f}->{d.max_pct_after:5.1f} "
+            f"{d.call_time_delta_pct:>+8.1f}% "
+            f"{'improved' if d.improved else '-':>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Fixed-size circular event queue (paper Fig. 2).
+
+The data collection module logs time-stamped events into a statically
+allocated, fixed-size, in-memory structure.  When the queue fills, the data
+processing module examines the events, updates the overlap measures
+on-the-fly, and the head pointer is reset so subsequent events can be
+stored.  No tracing is performed: the queue never grows and nothing is
+written to disk until the final report.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.events import TimedEvent
+
+
+class CircularEventQueue:
+    """Statically allocated event buffer drained by a callback when full.
+
+    Parameters
+    ----------
+    capacity:
+        Number of event slots (the paper's fixed queue size).
+    drain:
+        Callable invoked with the sequence of buffered events (oldest
+        first) when the queue fills or :meth:`flush` is called.  After the
+        callback returns, the head pointer is reset.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        drain: typing.Callable[[typing.Sequence[TimedEvent]], None],
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._drain = drain
+        self._slots: list[TimedEvent | None] = [None] * capacity
+        self._head = 0  # next free slot
+        #: Total events ever pushed (diagnostics).
+        self.pushed = 0
+        #: Number of times the queue filled and was drained.
+        self.drains = 0
+
+    def __len__(self) -> int:
+        return self._head
+
+    def push(self, event: TimedEvent) -> None:
+        """Append an event, draining to the processor first if full."""
+        if self._head == self.capacity:
+            self.flush()
+        self._slots[self._head] = event
+        self._head += 1
+        self.pushed += 1
+
+    def flush(self) -> None:
+        """Drain all buffered events to the processor and reset the head."""
+        if self._head == 0:
+            return
+        batch = typing.cast("list[TimedEvent]", self._slots[: self._head])
+        self.drains += 1
+        self._drain(batch)
+        self._head = 0

@@ -1,0 +1,89 @@
+"""Event kinds and records for the instrumentation framework.
+
+The paper defines four events (Sec. 2.1).  We add three bookkeeping kinds
+that never leave the local process: section markers implementing the paper's
+"application-level control over sections of code to be monitored", and a
+clock-reset marker used when monitoring is paused/resumed so that the paused
+interval is not misattributed to computation.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of time-stamped events logged by the data collection module."""
+
+    #: Application entered the communication library (paper Sec. 2.1).
+    CALL_ENTER = 0
+    #: Application left the communication library.
+    CALL_EXIT = 1
+    #: A data-transfer operation was initiated (library's best approximation
+    #: of the start of physical data movement, e.g. posting a work request).
+    XFER_BEGIN = 2
+    #: A data-transfer operation completed (e.g. a completion-queue poll
+    #: returned).
+    XFER_END = 3
+    #: Application opened a named monitoring section.
+    SECTION_BEGIN = 4
+    #: Application closed the innermost monitoring section.
+    SECTION_END = 5
+    #: Monitoring resumed after a pause; resets interval attribution.
+    RESET = 6
+
+
+class TimedEvent(typing.NamedTuple):
+    """A single logged event.
+
+    Field meaning depends on ``kind``:
+
+    ========================  =======================  =====================
+    kind                      ``a``                    ``b``
+    ========================  =======================  =====================
+    CALL_ENTER                call-name id             0
+    CALL_EXIT                 call-name id             0
+    XFER_BEGIN                transfer id              message bytes
+    XFER_END                  transfer id              message bytes
+    SECTION_BEGIN             section-name id          0
+    SECTION_END               section-name id          0
+    RESET                     0                        0
+    ========================  =======================  =====================
+    """
+
+    kind: int
+    time: float
+    a: int
+    b: int
+
+
+class NameRegistry:
+    """Bidirectional interning of call/section names to small integers.
+
+    The event queue stores integers only (the paper's queue holds fixed-size
+    records); names are resolved at report time.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, int] = {}
+        self._by_id: list[str] = []
+
+    def intern(self, name: str) -> int:
+        """Return the id for ``name``, assigning one on first use."""
+        ident = self._by_name.get(name)
+        if ident is None:
+            ident = len(self._by_id)
+            self._by_name[name] = ident
+            self._by_id.append(name)
+        return ident
+
+    def name_of(self, ident: int) -> str:
+        """Resolve an id back to its name."""
+        return self._by_id[ident]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

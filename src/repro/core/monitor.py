@@ -1,0 +1,257 @@
+"""Per-process monitor: the data collection module's public face.
+
+One :class:`Monitor` is instantiated per process (paper Sec. 2.4: "the
+framework is instantiated at the individual process level and operates
+locally without performing any interprocessor communication").  The
+communication library stamps events through it; the application controls
+monitoring sections through it; at shutdown it produces the per-process
+:class:`~repro.core.report.OverlapReport`.
+
+The monitor owns the fixed-size circular event queue and the data
+processing module, wiring the queue's drain to the processor -- the
+structure of the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing
+
+from repro.core.equeue import CircularEventQueue
+from repro.core.events import EventKind, NameRegistry, TimedEvent
+from repro.core.measures import DEFAULT_BIN_EDGES
+from repro.core.peruse import PeruseHub
+from repro.core.processor import DataProcessor, InstrumentationError
+from repro.core.report import OverlapReport
+from repro.core.xfer_table import XferTable
+
+#: Default circular-queue capacity (events).  Small enough to be cache
+#: resident, large enough that drains are rare; ablation EA4 sweeps this.
+DEFAULT_QUEUE_CAPACITY = 4096
+
+
+class Monitor:
+    """Event stamping API + section control for one process.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time.  The real system
+        would use ``gettimeofday``; the simulation passes the engine clock.
+    xfer_table:
+        The a-priori transfer-time table (loaded "during MPI_Init").
+    queue_capacity:
+        Circular event queue size.
+    bin_edges:
+        Message-size-range boundaries for the per-size breakdown.
+    enabled:
+        Initial monitoring state; a disabled monitor stamps nothing and
+        costs (almost) nothing.
+    """
+
+    def __init__(
+        self,
+        clock: typing.Callable[[], float],
+        xfer_table: XferTable,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        bin_edges: typing.Sequence[float] = DEFAULT_BIN_EDGES,
+        enabled: bool = True,
+    ) -> None:
+        self._clock = clock
+        self.names = NameRegistry()
+        self.processor = DataProcessor(xfer_table, bin_edges)
+        self.queue = CircularEventQueue(queue_capacity, self.processor.process)
+        #: PERUSE-style subscription point: external observers of the raw
+        #: event stream (tracing, debugging, other performance tools).
+        self.peruse = PeruseHub()
+        self._next_xfer_id = 0
+        self._enabled = enabled
+        self._was_paused = False
+        self._finalized = False
+        #: Total events stamped (drives the Fig. 20 overhead model).
+        self.event_count = 0
+        self.start_time = clock()
+
+    # -- enable / pause -----------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def pause(self) -> None:
+        """Stop logging events; intervals while paused are not attributed."""
+        self._enabled = False
+        self._was_paused = True
+
+    def resume(self) -> None:
+        """Resume logging after :meth:`pause`."""
+        if not self._enabled:
+            self._enabled = True
+            if self._was_paused:
+                # Tell the processor not to attribute the paused gap.
+                self._push(TimedEvent(EventKind.RESET, self._clock(), 0, 0))
+
+    # -- stamping (library-facing) -------------------------------------------
+    def call_enter(self, name: str) -> None:
+        """Stamp entry into a library call."""
+        if self._enabled:
+            self._push(
+                TimedEvent(
+                    EventKind.CALL_ENTER, self._clock(), self.names.intern(name), 0
+                )
+            )
+
+    def call_exit(self, name: str) -> None:
+        """Stamp exit from a library call."""
+        if self._enabled:
+            self._push(
+                TimedEvent(
+                    EventKind.CALL_EXIT, self._clock(), self.names.intern(name), 0
+                )
+            )
+
+    @contextlib.contextmanager
+    def call(self, name: str) -> typing.Iterator[None]:
+        """Context manager wrapping :meth:`call_enter` / :meth:`call_exit`."""
+        self.call_enter(name)
+        try:
+            yield
+        finally:
+            self.call_exit(name)
+
+    def new_xfer_id(self) -> int:
+        """Allocate an id for a data-transfer operation."""
+        ident = self._next_xfer_id
+        self._next_xfer_id += 1
+        return ident
+
+    def xfer_begin(self, nbytes: float, xfer_id: int | None = None) -> int:
+        """Stamp initiation of a data-transfer operation; returns its id."""
+        if xfer_id is None:
+            xfer_id = self.new_xfer_id()
+        if self._enabled:
+            self._push(
+                TimedEvent(EventKind.XFER_BEGIN, self._clock(), xfer_id, int(nbytes))
+            )
+        return xfer_id
+
+    def xfer_end(self, xfer_id: int, nbytes: float) -> None:
+        """Stamp completion of a data-transfer operation."""
+        if self._enabled:
+            self._push(
+                TimedEvent(EventKind.XFER_END, self._clock(), xfer_id, int(nbytes))
+            )
+
+    def xfer_end_only(self, nbytes: float) -> None:
+        """Stamp a completion whose initiation was invisible (case 3).
+
+        Used e.g. by the eager receiver: "the initiation of the send is
+        transparent to the receiver".
+        """
+        self.xfer_end(self.new_xfer_id(), nbytes)
+
+    # -- sections (application-facing) ----------------------------------------
+    def section_begin(self, name: str) -> None:
+        """Open a named monitoring section (Sec. 2.3's code-region control)."""
+        if self._enabled:
+            self._push(
+                TimedEvent(
+                    EventKind.SECTION_BEGIN, self._clock(), self.names.intern(name), 0
+                )
+            )
+
+    def section_end(self, name: str) -> None:
+        """Close the innermost monitoring section (must match ``name``)."""
+        if self._enabled:
+            self._push(
+                TimedEvent(
+                    EventKind.SECTION_END, self._clock(), self.names.intern(name), 0
+                )
+            )
+
+    @contextlib.contextmanager
+    def section(self, name: str) -> typing.Iterator[None]:
+        """Context manager for a monitoring section."""
+        self.section_begin(name)
+        try:
+            yield
+        finally:
+            self.section_end(name)
+
+    # -- shutdown ----------------------------------------------------------
+    def finalize(self, rank: int = 0, label: str = "") -> OverlapReport:
+        """Flush the queue, resolve active transfers, build the report."""
+        if self._finalized:
+            raise InstrumentationError("monitor already finalized")
+        end_time = self._clock()
+        self.queue.flush()
+        self.processor.finalize(end_time)
+        self._finalized = True
+        return OverlapReport.from_processor(
+            self.processor,
+            self.names,
+            rank=rank,
+            label=label,
+            wall_time=end_time - self.start_time,
+            event_count=self.event_count,
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _push(self, event: TimedEvent) -> None:
+        if self._finalized:
+            raise InstrumentationError("monitor already finalized")
+        self.queue.push(event)
+        self.event_count += 1
+        self.peruse.dispatch(event)
+
+
+class NullMonitor:
+    """A monitor that records nothing (the 'uninstrumented library').
+
+    Shares the :class:`Monitor` stamping interface so the library code is
+    identical in instrumented and uninstrumented builds; used for the
+    Fig. 20 overhead comparison.
+    """
+
+    enabled = False
+    event_count = 0
+
+    def call_enter(self, name: str) -> None:
+        pass
+
+    def call_exit(self, name: str) -> None:
+        pass
+
+    @contextlib.contextmanager
+    def call(self, name: str) -> typing.Iterator[None]:
+        yield
+
+    def new_xfer_id(self) -> int:
+        return -1
+
+    def xfer_begin(self, nbytes: float, xfer_id: int | None = None) -> int:
+        return -1
+
+    def xfer_end(self, xfer_id: int, nbytes: float) -> None:
+        pass
+
+    def xfer_end_only(self, nbytes: float) -> None:
+        pass
+
+    def section_begin(self, name: str) -> None:
+        pass
+
+    def section_end(self, name: str) -> None:
+        pass
+
+    @contextlib.contextmanager
+    def section(self, name: str) -> typing.Iterator[None]:
+        yield
+
+    def pause(self) -> None:
+        pass
+
+    def resume(self) -> None:
+        pass
+
+    def finalize(self, rank: int = 0, label: str = "") -> None:
+        return None

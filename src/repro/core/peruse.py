@@ -1,0 +1,88 @@
+"""PERUSE-style event subscription.
+
+The paper's events are "in the spirit of the PERUSE standard" (Sec. 2.1),
+which exists "primarily for the purposes of facilitating the development
+of performance monitoring": external tools subscribe to library-internal
+events.  This module adds that facility to the monitor -- callbacks fire
+synchronously as events are stamped, so other performance tools (or
+tests) can observe the stream without touching the overlap pipeline.
+
+Subscribers must be cheap: in the real system a slow callback perturbs
+the application; here it would only slow the simulation, but the contract
+is the same.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.events import EventKind, TimedEvent
+
+
+class PeruseSubscription:
+    """Handle returned by :meth:`PeruseHub.subscribe`; detachable."""
+
+    __slots__ = ("hub", "kind", "callback", "active")
+
+    def __init__(
+        self,
+        hub: "PeruseHub",
+        kind: EventKind | None,
+        callback: typing.Callable[[TimedEvent], None],
+    ) -> None:
+        self.hub = hub
+        self.kind = kind
+        self.callback = callback
+        self.active = True
+
+    def cancel(self) -> None:
+        """Stop receiving events (idempotent)."""
+        if self.active:
+            self.active = False
+            self.hub._remove(self)
+
+
+class PeruseHub:
+    """Dispatches stamped events to subscribers.
+
+    A subscriber attaches to one :class:`EventKind` or to all events
+    (``kind=None``).  Dispatch order is subscription order.
+    """
+
+    def __init__(self) -> None:
+        self._by_kind: dict[int, list[PeruseSubscription]] = {}
+        self._all: list[PeruseSubscription] = []
+        #: Total events dispatched (diagnostics).
+        self.dispatched = 0
+
+    def subscribe(
+        self,
+        callback: typing.Callable[[TimedEvent], None],
+        kind: EventKind | None = None,
+    ) -> PeruseSubscription:
+        """Register ``callback`` for events of ``kind`` (or all events)."""
+        sub = PeruseSubscription(self, kind, callback)
+        if kind is None:
+            self._all.append(sub)
+        else:
+            self._by_kind.setdefault(int(kind), []).append(sub)
+        return sub
+
+    def _remove(self, sub: PeruseSubscription) -> None:
+        bucket = self._all if sub.kind is None else self._by_kind.get(int(sub.kind), [])
+        if sub in bucket:
+            bucket.remove(sub)
+
+    @property
+    def has_subscribers(self) -> bool:
+        return bool(self._all) or any(self._by_kind.values())
+
+    def dispatch(self, event: TimedEvent) -> None:
+        """Deliver one event to every matching subscriber."""
+        if not self.has_subscribers:
+            return
+        self.dispatched += 1
+        for sub in self._by_kind.get(event.kind, ()):
+            sub.callback(event)
+        for sub in self._all:
+            sub.callback(event)

@@ -1,0 +1,268 @@
+"""The data processing module: on-the-fly overlap bound derivation.
+
+This implements Sec. 2.2 of the paper.  Walking the time-ordered event
+stream of one process (paper Fig. 1 shows the stream for an RDMA-Read
+exchange), the processor
+
+* attributes every interval between consecutive events either to **user
+  computation** (outside any library call) or **communication call time**
+  (inside a call),
+* tracks the set of *active* data-transfer operations (``XFER_BEGIN`` seen,
+  ``XFER_END`` not yet), accumulating for each the interleaved
+  ``computation_time`` and in-library ``noncomputation_time``,
+* on ``XFER_END`` resolves the operation under one of three cases:
+
+  1. begin and end stamped within the **same** library call -- the
+     application sat inside the library for the whole transfer, so both
+     bounds are zero;
+  2. begin and end stamped in **different** calls -- with ``xfer_time``
+     taken from the a-priori table:
+     ``max = min(computation_time, xfer_time)`` and
+     ``min = max(0, xfer_time - noncomputation_time)``;
+  3. only **one** of the two events stamped -- nothing conclusive:
+     ``min = 0``, ``max = xfer_time``.
+
+State persists across drains of the circular queue, so only *active*
+events need memory (the paper: "information is maintained only for the set
+of currently active events"; no tracing).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.events import EventKind, TimedEvent
+from repro.core.measures import (
+    CASE_ONE_EVENT,
+    CASE_SAME_CALL,
+    CASE_SPLIT_CALL,
+    DEFAULT_BIN_EDGES,
+    OverlapMeasures,
+)
+from repro.core.xfer_table import XferTable
+
+_TIME_EPS = 1e-12
+
+
+class InstrumentationError(RuntimeError):
+    """Raised on malformed event streams (library instrumentation bugs)."""
+
+
+class _ActiveXfer:
+    """A data-transfer operation whose ``XFER_END`` has not been seen yet."""
+
+    __slots__ = ("begin_time", "begin_call", "nbytes", "comp", "noncomp", "sections")
+
+    def __init__(
+        self,
+        begin_time: float,
+        begin_call: int,
+        nbytes: float,
+        sections: tuple[int, ...],
+    ) -> None:
+        self.begin_time = begin_time
+        self.begin_call = begin_call  # outermost call sequence no., -1 if outside
+        self.nbytes = nbytes
+        self.comp = 0.0  # user computation interleaved since begin
+        self.noncomp = 0.0  # in-library time since begin
+        self.sections = sections
+
+
+class CallStats:
+    """Per-call-name invocation count and cumulative in-call time.
+
+    Used to report e.g. "average time spent in MPI_Wait" (Figs. 3-9) and
+    "overall MPI time" (Fig. 18).
+    """
+
+    __slots__ = ("count", "total_time")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_time = 0.0
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+
+class DataProcessor:
+    """Consumes event batches; owns the per-process overlap measures."""
+
+    def __init__(
+        self,
+        xfer_table: XferTable,
+        bin_edges: typing.Sequence[float] = DEFAULT_BIN_EDGES,
+    ) -> None:
+        self.xfer_table = xfer_table
+        self._bin_edges = tuple(bin_edges)
+        #: Whole-run measures.
+        self.total = OverlapMeasures(bin_edges)
+        #: Measures restricted to named monitoring sections.
+        self.sections: dict[int, OverlapMeasures] = {}
+        #: Per-call-name statistics (keyed by interned name id).
+        self.call_stats: dict[int, CallStats] = {}
+
+        self._active: dict[int, _ActiveXfer] = {}
+        self._depth = 0
+        self._call_seq = 0
+        self._call_enter_time = 0.0
+        self._call_name = -1
+        self._last_time: float | None = None
+        self._section_stack: list[int] = []
+        self._finalized = False
+
+    # -- event intake -----------------------------------------------------
+    def process(self, batch: typing.Sequence[TimedEvent]) -> None:
+        """Digest a drained batch of events (oldest first)."""
+        if self._finalized:
+            raise InstrumentationError("processor already finalized")
+        for ev in batch:
+            kind = ev.kind
+            if kind == EventKind.RESET:
+                # Monitoring was paused: do not attribute the gap.
+                self._last_time = ev.time
+                continue
+            self._advance(ev.time)
+            if kind == EventKind.CALL_ENTER:
+                self._on_call_enter(ev)
+            elif kind == EventKind.CALL_EXIT:
+                self._on_call_exit(ev)
+            elif kind == EventKind.XFER_BEGIN:
+                self._on_xfer_begin(ev)
+            elif kind == EventKind.XFER_END:
+                self._on_xfer_end(ev)
+            elif kind == EventKind.SECTION_BEGIN:
+                self._section_stack.append(ev.a)
+                self.sections.setdefault(ev.a, OverlapMeasures(self._bin_edges))
+            elif kind == EventKind.SECTION_END:
+                if not self._section_stack or self._section_stack[-1] != ev.a:
+                    raise InstrumentationError(
+                        f"SECTION_END {ev.a} does not match open section stack "
+                        f"{self._section_stack}"
+                    )
+                self._section_stack.pop()
+            else:  # pragma: no cover - enum is exhaustive
+                raise InstrumentationError(f"unknown event kind {kind}")
+
+    def finalize(self, end_time: float | None = None) -> None:
+        """Resolve still-active transfers (case 3) and freeze the measures."""
+        if self._finalized:
+            return
+        if end_time is not None:
+            self._advance(end_time)
+        for xfer in self._active.values():
+            xfer_time = self.xfer_table.time_for(xfer.nbytes)
+            self._record(xfer.nbytes, xfer_time, 0.0, xfer_time, CASE_ONE_EVENT, xfer.sections)
+        self._active.clear()
+        self._finalized = True
+
+    # -- interval attribution ----------------------------------------------
+    def _advance(self, t: float) -> None:
+        last = self._last_time
+        if last is None:
+            self._last_time = t
+            return
+        dt = t - last
+        if dt < -_TIME_EPS:
+            raise InstrumentationError(
+                f"event stream goes backwards in time: {last} -> {t}"
+            )
+        if dt > 0.0:
+            in_call = self._depth > 0
+            self.total.add_interval(dt, in_call)
+            for sec in self._section_stack:
+                self.sections[sec].add_interval(dt, in_call)
+            if in_call:
+                for xfer in self._active.values():
+                    xfer.noncomp += dt
+            else:
+                for xfer in self._active.values():
+                    xfer.comp += dt
+        self._last_time = t
+
+    # -- event handlers -----------------------------------------------------
+    def _on_call_enter(self, ev: TimedEvent) -> None:
+        self._depth += 1
+        if self._depth == 1:
+            self._call_seq += 1
+            self._call_enter_time = ev.time
+            self._call_name = ev.a
+
+    def _on_call_exit(self, ev: TimedEvent) -> None:
+        if self._depth <= 0:
+            raise InstrumentationError("CALL_EXIT without a matching CALL_ENTER")
+        self._depth -= 1
+        if self._depth == 0:
+            stats = self.call_stats.setdefault(self._call_name, CallStats())
+            stats.count += 1
+            stats.total_time += ev.time - self._call_enter_time
+
+    def _on_xfer_begin(self, ev: TimedEvent) -> None:
+        if ev.a in self._active:
+            raise InstrumentationError(f"duplicate XFER_BEGIN for transfer {ev.a}")
+        begin_call = self._call_seq if self._depth > 0 else -1
+        self._active[ev.a] = _ActiveXfer(
+            ev.time, begin_call, float(ev.b), tuple(self._section_stack)
+        )
+
+    def _on_xfer_end(self, ev: TimedEvent) -> None:
+        xfer = self._active.pop(ev.a, None)
+        nbytes = float(ev.b)
+        if xfer is None:
+            # Case 3: END without a BEGIN (e.g. the eager receiver, for whom
+            # initiation is transparent).
+            xfer_time = self.xfer_table.time_for(nbytes)
+            self._record(
+                nbytes, xfer_time, 0.0, xfer_time, CASE_ONE_EVENT,
+                tuple(self._section_stack),
+            )
+            return
+        if xfer.nbytes != nbytes and nbytes > 0:
+            raise InstrumentationError(
+                f"transfer {ev.a} size mismatch: begin={xfer.nbytes} end={nbytes}"
+            )
+        xfer_time = self.xfer_table.time_for(xfer.nbytes)
+        same_call = (
+            self._depth > 0
+            and xfer.begin_call == self._call_seq
+            and xfer.begin_call != -1
+        )
+        if same_call:
+            # Case 1: the application never left the library.
+            self._record(xfer.nbytes, xfer_time, 0.0, 0.0, CASE_SAME_CALL, xfer.sections)
+        else:
+            # Case 2: bounded by interleaved computation / in-library time.
+            max_ov = min(xfer.comp, xfer_time)
+            min_ov = max(0.0, xfer_time - xfer.noncomp)
+            # The bounds must nest: min <= max always holds because
+            # comp + noncomp == end - begin >= xfer_time - noncomp whenever
+            # min > 0; clamp defensively against float noise.
+            min_ov = min(min_ov, max_ov)
+            self._record(
+                xfer.nbytes, xfer_time, min_ov, max_ov, CASE_SPLIT_CALL, xfer.sections
+            )
+
+    def _record(
+        self,
+        nbytes: float,
+        xfer_time: float,
+        min_ov: float,
+        max_ov: float,
+        case: int,
+        sections: tuple[int, ...],
+    ) -> None:
+        self.total.add_transfer(nbytes, xfer_time, min_ov, max_ov, case)
+        for sec in sections:
+            self.sections[sec].add_transfer(nbytes, xfer_time, min_ov, max_ov, case)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def active_transfer_count(self) -> int:
+        """Number of transfers currently awaiting their ``XFER_END``."""
+        return len(self._active)
+
+    @property
+    def in_call(self) -> bool:
+        """True while the event stream is inside a library call."""
+        return self._depth > 0

@@ -1,0 +1,159 @@
+"""A-priori transfer-time table (the paper's ``perf_main`` step).
+
+The bound arithmetic of Sec. 2.2 consumes ``xfer_time`` -- "the time for the
+data transfer operation on the network that is measured a priori by running
+a standard microbenchmark test".  This module holds that table: it is built
+by a ping-pong measurement (see :func:`repro.experiments.micro.build_xfer_table`
+for the simulated ``perf_main``), written to a disk file, and read back into
+memory during library initialization, exactly as the paper describes (the
+one-time load cost is the Fig. 20 caveat).
+
+Lookups interpolate linearly in message size between measured points and
+extrapolate with the boundary bandwidth beyond the measured range.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import typing
+
+import numpy as np
+
+_HEADER = "# repro xfer-time table: bytes<TAB>seconds"
+
+
+class XferTable:
+    """Message-size to network-transfer-time mapping.
+
+    Parameters
+    ----------
+    sizes:
+        Message sizes in bytes, strictly increasing, all positive.
+    times:
+        Transfer time in seconds for each size, positive and
+        non-decreasing is expected but not enforced (real measurements
+        can be noisy).
+    """
+
+    def __init__(
+        self,
+        sizes: typing.Sequence[float],
+        times: typing.Sequence[float],
+    ) -> None:
+        sizes_arr = np.asarray(sizes, dtype=np.float64)
+        times_arr = np.asarray(times, dtype=np.float64)
+        if sizes_arr.ndim != 1 or sizes_arr.shape != times_arr.shape:
+            raise ValueError("sizes and times must be 1-D arrays of equal length")
+        if sizes_arr.size == 0:
+            raise ValueError("xfer table cannot be empty")
+        if np.any(sizes_arr <= 0):
+            raise ValueError("message sizes must be positive")
+        if np.any(np.diff(sizes_arr) <= 0):
+            raise ValueError("message sizes must be strictly increasing")
+        if np.any(times_arr <= 0):
+            raise ValueError("transfer times must be positive")
+        self.sizes = sizes_arr
+        self.times = times_arr
+
+    # -- lookup ----------------------------------------------------------
+    def time_for(self, nbytes: float) -> float:
+        """Transfer time in seconds for a message of ``nbytes`` bytes.
+
+        Zero-byte operations take zero time; sizes inside the measured
+        range interpolate linearly; sizes beyond either end extrapolate at
+        the boundary point's marginal bandwidth.
+        """
+        if nbytes <= 0:
+            return 0.0
+        sizes, times = self.sizes, self.times
+        if nbytes <= sizes[0]:
+            # Scale below the smallest measurement by its effective rate,
+            # but never below a proportional floor of the smallest time.
+            return float(times[0] * nbytes / sizes[0]) if sizes[0] > 0 else 0.0
+        if nbytes >= sizes[-1]:
+            if sizes.size == 1:
+                return float(times[-1] * nbytes / sizes[-1])
+            # Marginal bandwidth of the last segment.
+            slope = (times[-1] - times[-2]) / (sizes[-1] - sizes[-2])
+            slope = max(slope, 0.0)
+            return float(times[-1] + slope * (nbytes - sizes[-1]))
+        return float(np.interp(nbytes, sizes, times))
+
+    def times_for(self, nbytes: typing.Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`time_for` over an array of sizes."""
+        arr = np.asarray(nbytes, dtype=np.float64)
+        return np.asarray([self.time_for(x) for x in arr.ravel()]).reshape(arr.shape)
+
+    def bandwidth_for(self, nbytes: float) -> float:
+        """Effective bandwidth (bytes/s) for a message of ``nbytes``."""
+        t = self.time_for(nbytes)
+        return nbytes / t if t > 0 else float("inf")
+
+    # -- persistence ------------------------------------------------------
+    def dumps(self) -> str:
+        """Serialize to the on-disk text format."""
+        buf = io.StringIO()
+        buf.write(_HEADER + "\n")
+        for size, t in zip(self.sizes, self.times):
+            buf.write(f"{size:.17g}\t{t:.17g}\n")
+        return buf.getvalue()
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the table to ``path`` (the paper's disk-resident file)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str) -> "XferTable":
+        """Parse the on-disk text format."""
+        sizes: list[float] = []
+        times: list[float] = []
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed xfer-table line {lineno}: {line!r}")
+            sizes.append(float(parts[0]))
+            times.append(float(parts[1]))
+        return cls(sizes, times)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "XferTable":
+        """Read a table previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.loads(fh.read())
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_model(
+        cls,
+        latency: float,
+        bandwidth: float,
+        sizes: typing.Sequence[float] | None = None,
+    ) -> "XferTable":
+        """Analytic latency+bandwidth table (for tests and defaults).
+
+        ``time(n) = latency + n / bandwidth`` sampled at ``sizes`` (default:
+        powers of two from 1 B to 4 MiB).
+        """
+        if sizes is None:
+            sizes = [float(2**k) for k in range(0, 23)]
+        times = [latency + s / bandwidth for s in sizes]
+        return cls(list(sizes), times)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, XferTable):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.sizes, other.sizes)
+            and np.array_equal(self.times, other.times)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<XferTable {self.sizes.size} points, "
+            f"{self.sizes[0]:.0f}..{self.sizes[-1]:.0f} B>"
+        )

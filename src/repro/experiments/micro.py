@@ -1,0 +1,218 @@
+"""Section 3 microbenchmarks: the two-process overlap test (Figs. 3-9).
+
+"We ran an overlap test in which two processes communicate a message using
+different combinations of point-to-point MPI calls with increasing
+computation inserted between the initiating and wait non-blocking methods.
+One process acts as a sender calling only MPI_Send or MPI_Isend methods,
+while the other process acts as a receiver calling only MPI_Recv or
+MPI_Irecv methods." (Sec. 3.2.)
+
+Also provides the simulated ``perf_main`` utility: a raw NIC-level
+ping-pong that measures one-way transfer times for a range of sizes and
+writes the disk-resident table the instrumented library loads at init.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.report import OverlapReport
+from repro.core.xfer_table import XferTable
+from repro.mpisim.config import MpiConfig
+from repro.netsim.fabric import Fabric
+from repro.netsim.params import NetworkParams
+from repro.runtime.launcher import run_app
+from repro.runtime.world import RankContext
+from repro.sim import Engine
+
+#: Valid call-pair patterns (which side is non-blocking).
+PATTERNS = ("isend_irecv", "isend_recv", "send_irecv")
+
+#: Default table sample sizes: powers of two, 1 B .. 8 MiB.
+DEFAULT_TABLE_SIZES = tuple(float(2**k) for k in range(0, 24))
+
+
+# ---------------------------------------------------------------------------
+# perf_main: a-priori transfer-time measurement on the raw fabric
+# ---------------------------------------------------------------------------
+def measure_one_way_time(
+    params: NetworkParams, nbytes: float, reps: int = 4
+) -> float:
+    """One-way transfer time for ``nbytes`` measured on an idle fabric.
+
+    A fresh two-node fabric plays ping-pong ``reps`` times; the result is
+    the mean one-way (arrival - post) time.  This is the simulation analog
+    of running Mellanox's ``perf_main`` before the instrumented runs.
+    """
+    if reps < 1:
+        raise ValueError("need at least one repetition")
+    engine = Engine()
+    fabric = Fabric(engine, params, num_nodes=2)
+    a, b = fabric.nic(0), fabric.nic(1)
+    samples: list[float] = []
+
+    def take_ball(me):
+        # Drain local send completions (left in the CQ by earlier serves)
+        # while waiting for the ball to arrive.
+        while not me.inbound:
+            me.cq.clear()
+            yield me.wait_activity()
+        me.inbound.popleft()
+
+    def player(me, peer, serves_first):
+        for _ in range(reps):
+            if serves_first:
+                start = engine.now
+                me.post_send(peer, nbytes, payload="ball")
+                yield from take_ball(me)
+                samples.append((engine.now - start) / 2.0)
+            else:
+                yield from take_ball(me)
+                me.post_send(peer, nbytes, payload="ball")
+
+    engine.process(player(a, b, True))
+    engine.process(player(b, a, False))
+    engine.run()
+    return sum(samples) / len(samples)
+
+
+def build_xfer_table(
+    params: NetworkParams | None = None,
+    sizes: typing.Sequence[float] = DEFAULT_TABLE_SIZES,
+    path: str | None = None,
+    reps: int = 2,
+) -> XferTable:
+    """Measure transfer times for ``sizes`` and optionally save the table.
+
+    The one-time cost of loading this file at init is the caveat the paper
+    notes under Fig. 20.
+    """
+    params = params or NetworkParams()
+    times = [measure_one_way_time(params, s, reps=reps) for s in sizes]
+    table = XferTable(list(sizes), times)
+    if path is not None:
+        table.save(path)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# The overlap test
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class MicroPoint:
+    """One point of an overlap-vs-computation sweep."""
+
+    compute_time: float
+    #: Report of the sending rank (rank 0).
+    sender: OverlapReport
+    #: Report of the receiving rank (rank 1).
+    receiver: OverlapReport
+
+    def side(self, which: str) -> OverlapReport:
+        if which == "sender":
+            return self.sender
+        if which == "receiver":
+            return self.receiver
+        raise ValueError(f"side must be sender/receiver, got {which!r}")
+
+    def wait_time(self, which: str) -> float:
+        """Mean MPI_Wait duration on one side."""
+        return self.side(which).mean_call_time("MPI_Wait")
+
+    def min_pct(self, which: str) -> float:
+        return self.side(which).total.min_overlap_pct
+
+    def max_pct(self, which: str) -> float:
+        return self.side(which).total.max_overlap_pct
+
+
+def _sender_app(
+    ctx: RankContext, pattern: str, nbytes: float, compute: float, iters: int,
+    warmup: int,
+) -> typing.Generator:
+    comm = ctx.comm
+    for i in range(warmup + iters):
+        if i == warmup:
+            ctx.monitor.resume()
+        if pattern in ("isend_irecv", "isend_recv"):
+            req = yield from comm.isend(1, 0, nbytes, bufkey="sendbuf")
+            yield from ctx.compute(compute)
+            yield from comm.wait(req)
+        else:
+            # Blocking side: bare send loop -- computation is only inserted
+            # "between the initiating and wait non-blocking methods".
+            yield from comm.send(1, 0, nbytes, bufkey="sendbuf")
+
+
+def _receiver_app(
+    ctx: RankContext, pattern: str, nbytes: float, compute: float, iters: int,
+    warmup: int,
+) -> typing.Generator:
+    comm = ctx.comm
+    for i in range(warmup + iters):
+        if i == warmup:
+            ctx.monitor.resume()
+        if pattern in ("isend_irecv", "send_irecv"):
+            req = yield from comm.irecv(0, 0)
+            yield from ctx.compute(compute)
+            yield from comm.wait(req)
+        else:
+            # Blocking side: bare receive loop (it polls continuously, so
+            # rendezvous data transfers start as soon as the RTS arrives).
+            status, _ = yield from comm.recv(0, 0)
+            assert status.nbytes == nbytes
+
+
+def _micro_app(
+    ctx: RankContext, pattern: str, nbytes: float, compute: float, iters: int,
+    warmup: int,
+) -> typing.Generator:
+    # Warm-up iterations run unmonitored (registration caches fill, queues
+    # settle); the monitor resumes at the first measured iteration.
+    ctx.monitor.pause()
+    if ctx.rank == 0:
+        yield from _sender_app(ctx, pattern, nbytes, compute, iters, warmup)
+    else:
+        yield from _receiver_app(ctx, pattern, nbytes, compute, iters, warmup)
+
+
+def overlap_sweep(
+    pattern: str,
+    nbytes: float,
+    compute_times: typing.Sequence[float],
+    config: MpiConfig,
+    params: NetworkParams | None = None,
+    xfer_table: XferTable | None = None,
+    iters: int = 50,
+    warmup: int = 3,
+) -> list[MicroPoint]:
+    """Run the two-process overlap test across ``compute_times``.
+
+    Returns one :class:`MicroPoint` per inserted-computation value, each
+    holding both ranks' overlap reports (the figures plot the non-blocking
+    side).
+    """
+    if pattern not in PATTERNS:
+        raise ValueError(f"pattern must be one of {PATTERNS}, got {pattern!r}")
+    if iters < 1:
+        raise ValueError("need at least one measured iteration")
+    points: list[MicroPoint] = []
+    for compute in compute_times:
+        result = run_app(
+            _micro_app,
+            nprocs=2,
+            config=config,
+            params=params,
+            xfer_table=xfer_table,
+            label=f"micro.{pattern}.{int(nbytes)}B.c{compute:g}",
+            app_args=(pattern, nbytes, compute, iters, warmup),
+        )
+        points.append(
+            MicroPoint(
+                compute_time=compute,
+                sender=result.report(0),
+                receiver=result.report(1),
+            )
+        )
+    return points

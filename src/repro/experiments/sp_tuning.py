@@ -1,0 +1,94 @@
+"""NAS SP overlap improvement via Iprobe insertion (Sec. 4.3, Figs. 14-18).
+
+"We then placed Iprobe calls at multiple locations in the computation
+region of the overlapping section.  We tried different numbers as well as
+positions of Iprobe calls, each time measuring the change in overlap."
+The driver runs the original and modified codes with identical inputs and
+reports: overlap bounds over the overlapping section (Figs. 14, 15),
+over the complete code (Figs. 16, 17), and total MPI time (Fig. 18).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.measures import OverlapMeasures
+from repro.core.report import OverlapReport
+from repro.mpisim.config import MpiConfig, mvapich2_like
+from repro.nas.base import CpuModel
+from repro.nas.sp import OVERLAP_SECTION, sp_app
+from repro.netsim.params import NetworkParams
+from repro.runtime.launcher import run_app
+
+
+@dataclasses.dataclass
+class SpTuningResult:
+    """Original-vs-modified comparison for one (class, nprocs) cell."""
+
+    klass: str
+    nprocs: int
+    iprobe_calls: int
+    original: OverlapReport
+    modified: OverlapReport
+
+    # -- Figs. 14/15: the overlapping section ---------------------------------
+    def section(self, variant: str) -> OverlapMeasures:
+        report = self.original if variant == "original" else self.modified
+        return report.sections[OVERLAP_SECTION]
+
+    # -- Figs. 16/17: the complete code ----------------------------------------
+    def full(self, variant: str) -> OverlapMeasures:
+        report = self.original if variant == "original" else self.modified
+        return report.total
+
+    # -- Fig. 18: overall MPI time ----------------------------------------------
+    @property
+    def mpi_time_original(self) -> float:
+        return self.original.mpi_time
+
+    @property
+    def mpi_time_modified(self) -> float:
+        return self.modified.mpi_time
+
+    @property
+    def mpi_time_improvement_pct(self) -> float:
+        """Percent drop in overall MPI time from the modification."""
+        if self.mpi_time_original <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.mpi_time_modified / self.mpi_time_original)
+
+
+def sp_tuning(
+    klass: str,
+    nprocs: int,
+    niter: int = 2,
+    iprobe_calls: int = 4,
+    cpu: CpuModel | None = None,
+    config: MpiConfig | None = None,
+    params: NetworkParams | None = None,
+) -> SpTuningResult:
+    """Run SP original and Iprobe-modified with identical parameters."""
+    cfg = config or mvapich2_like()
+    runs = {}
+    for modified in (False, True):
+        result = run_app(
+            sp_app, nprocs, config=cfg, params=params,
+            label=f"sp.{klass}.{nprocs}.{'mod' if modified else 'orig'}",
+            app_args=(klass, niter, cpu, modified, iprobe_calls),
+        )
+        runs[modified] = result.report(0)
+    return SpTuningResult(klass, nprocs, iprobe_calls, runs[False], runs[True])
+
+
+def iprobe_placement_sweep(
+    klass: str,
+    nprocs: int,
+    counts: tuple[int, ...] = (0, 1, 2, 4, 8, 16),
+    niter: int = 2,
+    cpu: CpuModel | None = None,
+) -> list[SpTuningResult]:
+    """Ablation EA5: the paper's manual search over Iprobe counts."""
+    return [
+        sp_tuning(klass, nprocs, niter=niter, iprobe_calls=n, cpu=cpu)
+        for n in counts
+    ]

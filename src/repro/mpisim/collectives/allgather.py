@@ -1,0 +1,39 @@
+"""Ring allgather."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.collectives.util import begin_collective, coll_tag
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.endpoint import Endpoint
+
+
+def allgather(
+    ep: "Endpoint", nbytes: float, data: object = None
+) -> typing.Generator:
+    """Gather every rank's ``nbytes`` block onto every rank (ring schedule).
+
+    Returns a list indexed by rank.  ``P - 1`` steps; in step ``s`` each
+    rank forwards the block it received in step ``s - 1``.
+    """
+    begin_collective(ep)
+    size, rank = ep.size, ep.rank
+    result: list[object] = [None] * size
+    result[rank] = data
+    if size == 1:
+        return result
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carried = data
+    carried_owner = rank
+    for step in range(size - 1):
+        tag = coll_tag(ep, step)
+        send_req = yield from ep.isend(right, tag, nbytes, carried)
+        recv_req = yield from ep.irecv(left, tag)
+        yield from ep.wait_all([send_req, recv_req])
+        carried_owner = (carried_owner - 1) % size
+        carried = recv_req.data
+        result[carried_owner] = carried
+    return result

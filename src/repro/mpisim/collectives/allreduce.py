@@ -1,0 +1,27 @@
+"""Allreduce as reduce-to-zero plus broadcast.
+
+(MPICH-style small-message allreduce; adequate for the NAS kernels, which
+use allreduce for residuals and checksums.)
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.collectives.bcast import bcast
+from repro.mpisim.collectives.reduce import reduce
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.endpoint import Endpoint
+
+
+def allreduce(
+    ep: "Endpoint",
+    value: object,
+    nbytes: float,
+    op: typing.Callable[[object, object], object] | None = None,
+) -> typing.Generator:
+    """Reduce ``value`` across all ranks and return the result everywhere."""
+    reduced = yield from reduce(ep, 0, value, nbytes, op)
+    result = yield from bcast(ep, 0, nbytes, reduced)
+    return result

@@ -1,0 +1,35 @@
+"""Dissemination barrier: ceil(log2 P) rounds of small messages."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.collectives.util import begin_collective, coll_tag
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.endpoint import Endpoint
+
+#: Token size for barrier/notification messages (bytes on the wire).
+TOKEN_BYTES = 4
+
+
+def barrier(ep: "Endpoint") -> typing.Generator:
+    """Dissemination barrier.
+
+    In round ``k`` each rank signals ``(rank + 2^k) mod P`` and waits for a
+    signal from ``(rank - 2^k) mod P``; after all rounds every rank has
+    transitively heard from every other.
+    """
+    begin_collective(ep)
+    size, rank = ep.size, ep.rank
+    if size == 1:
+        return
+    k = 0
+    dist = 1
+    while dist < size:
+        tag = coll_tag(ep, k)
+        send_req = yield from ep.isend((rank + dist) % size, tag, TOKEN_BYTES)
+        recv_req = yield from ep.irecv((rank - dist) % size, tag)
+        yield from ep.wait_all([send_req, recv_req])
+        dist <<= 1
+        k += 1

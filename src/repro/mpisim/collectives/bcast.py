@@ -1,0 +1,52 @@
+"""Binomial-tree broadcast."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.collectives.util import begin_collective, coll_tag
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.endpoint import Endpoint
+
+
+def bcast(
+    ep: "Endpoint", root: int, nbytes: float, data: object = None
+) -> typing.Generator:
+    """Broadcast ``nbytes`` (and optionally ``data``) from ``root``.
+
+    Returns the broadcast value on every rank.
+    """
+    begin_collective(ep)
+    size, rank = ep.size, ep.rank
+    if size == 1:
+        return data
+    tag = coll_tag(ep)
+    vrank = (rank - root) % size
+
+    # Receive from the parent (if not the root).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            req = yield from ep.irecv(parent, tag)
+            yield from ep.wait(req)
+            data = req.data
+            break
+        mask <<= 1
+    else:
+        mask = 1
+        while mask < size:
+            mask <<= 1
+
+    # Forward to children.
+    mask >>= 1
+    reqs = []
+    while mask > 0:
+        if vrank & mask == 0 and vrank + mask < size:
+            child = (vrank + mask + root) % size
+            reqs.append((yield from ep.isend(child, tag, nbytes, data)))
+        mask >>= 1
+    if reqs:
+        yield from ep.wait_all(reqs)
+    return data

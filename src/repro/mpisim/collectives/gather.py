@@ -1,0 +1,67 @@
+"""Linear gather to a root."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.collectives.util import begin_collective, coll_tag
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.endpoint import Endpoint
+
+
+def gather(
+    ep: "Endpoint", root: int, nbytes: float, data: object = None
+) -> typing.Generator:
+    """Collect every rank's block at ``root``.
+
+    Returns the list of blocks (rank-indexed) at the root, ``None``
+    elsewhere.
+    """
+    begin_collective(ep)
+    size, rank = ep.size, ep.rank
+    tag = coll_tag(ep)
+    if rank != root:
+        req = yield from ep.isend(root, tag, nbytes, data)
+        yield from ep.wait(req)
+        return None
+    result: list[object] = [None] * size
+    result[root] = data
+    reqs = {}
+    for src in range(size):
+        if src != root:
+            reqs[src] = yield from ep.irecv(src, tag)
+    yield from ep.wait_all(list(reqs.values()))
+    for src, req in reqs.items():
+        result[src] = req.data
+    return result
+
+
+def gatherv(
+    ep: "Endpoint",
+    root: int,
+    nbytes: float,
+    data: object = None,
+) -> typing.Generator:
+    """Variable-size gather: each rank contributes its own ``nbytes``.
+
+    Same schedule as :func:`gather`; the per-rank sizes only affect wire
+    time.  Returns the rank-indexed blocks at the root, None elsewhere.
+    """
+    begin_collective(ep)
+    size, rank = ep.size, ep.rank
+    tag = coll_tag(ep)
+    if rank != root:
+        req = yield from ep.isend(root, tag, nbytes, data)
+        yield from ep.wait(req)
+        return None
+    result: list[object] = [None] * size
+    result[root] = data
+    reqs = {}
+    for src in range(size):
+        if src != root:
+            reqs[src] = yield from ep.irecv(src, tag)
+    yield from ep.wait_all(list(reqs.values()))
+    for src, req in reqs.items():
+        result[src] = req.data
+    return result

@@ -1,0 +1,50 @@
+"""Binomial-tree reduction."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.collectives.util import begin_collective, coll_tag, default_op
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.endpoint import Endpoint
+
+
+def reduce(
+    ep: "Endpoint",
+    root: int,
+    value: object,
+    nbytes: float,
+    op: typing.Callable[[object, object], object] | None = None,
+) -> typing.Generator:
+    """Reduce ``value`` (scalar or array) to ``root``; returns the reduced
+    value at the root and ``None`` elsewhere.
+
+    ``nbytes`` is the wire size of one contribution.  ``op`` defaults to
+    elementwise sum and must be associative.
+    """
+    begin_collective(ep)
+    if op is None:
+        op = default_op
+    size, rank = ep.size, ep.rank
+    if size == 1:
+        return value
+    tag = coll_tag(ep)
+    vrank = (rank - root) % size
+    result = value
+
+    mask = 1
+    while mask < size:
+        if vrank & mask == 0:
+            peer = vrank | mask
+            if peer < size:
+                req = yield from ep.irecv((peer + root) % size, tag)
+                yield from ep.wait(req)
+                result = op(result, req.data)
+        else:
+            parent = ((vrank & ~mask) + root) % size
+            req = yield from ep.isend(parent, tag, nbytes, result)
+            yield from ep.wait(req)
+            return None
+        mask <<= 1
+    return result

@@ -1,0 +1,36 @@
+"""Reduce-scatter: elementwise reduction, block-distributed result."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.collectives.alltoall import alltoallv
+from repro.mpisim.collectives.util import default_op
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.endpoint import Endpoint
+
+
+def reduce_scatter(
+    ep: "Endpoint",
+    blocks: typing.Sequence[object],
+    block_nbytes: float,
+    op: typing.Callable[[object, object], object] | None = None,
+) -> typing.Generator:
+    """Reduce ``blocks[i]`` across ranks; rank ``i`` returns the reduced
+    block ``i``.
+
+    Pairwise-exchange algorithm: one alltoallv moves every contribution to
+    its owner, who folds locally -- the large-message reduce_scatter
+    schedule (each rank sends/receives ``(P-1)`` blocks).
+    """
+    if op is None:
+        op = default_op
+    if len(blocks) != ep.size:
+        raise ValueError(f"need {ep.size} blocks, got {len(blocks)}")
+    sizes = [block_nbytes] * ep.size
+    received = yield from alltoallv(ep, sizes, list(blocks))
+    result = None
+    for contribution in received:
+        result = contribution if result is None else op(result, contribution)
+    return result

@@ -1,0 +1,37 @@
+"""Inclusive prefix reduction (MPI_Scan): linear chain."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.collectives.util import begin_collective, coll_tag, default_op
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.endpoint import Endpoint
+
+
+def scan(
+    ep: "Endpoint",
+    value: object,
+    nbytes: float,
+    op: typing.Callable[[object, object], object] | None = None,
+) -> typing.Generator:
+    """Inclusive scan: rank ``r`` returns ``op`` folded over ranks 0..r.
+
+    Linear chain (each rank waits for its predecessor's prefix, combines,
+    and forwards) -- O(P) latency, the textbook small-message algorithm.
+    """
+    begin_collective(ep)
+    if op is None:
+        op = default_op
+    size, rank = ep.size, ep.rank
+    tag = coll_tag(ep)
+    result = value
+    if rank > 0:
+        req = yield from ep.irecv(rank - 1, tag)
+        yield from ep.wait(req)
+        result = op(req.data, value)
+    if rank < size - 1:
+        req = yield from ep.isend(rank + 1, tag, nbytes, result)
+        yield from ep.wait(req)
+    return result

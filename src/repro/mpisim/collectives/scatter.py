@@ -1,0 +1,81 @@
+"""Linear scatter from a root."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.collectives.util import begin_collective, coll_tag
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.endpoint import Endpoint
+
+
+def scatter(
+    ep: "Endpoint",
+    root: int,
+    nbytes: float,
+    blocks: typing.Sequence[object] | None = None,
+) -> typing.Generator:
+    """Distribute ``blocks[i]`` (given at the root) to rank ``i``.
+
+    Returns this rank's block.
+    """
+    begin_collective(ep)
+    size, rank = ep.size, ep.rank
+    tag = coll_tag(ep)
+    if rank == root:
+        if blocks is not None and len(blocks) != size:
+            raise ValueError(f"need {size} blocks, got {len(blocks)}")
+        reqs = []
+        for dst in range(size):
+            if dst != root:
+                reqs.append(
+                    (
+                        yield from ep.isend(
+                            dst, tag, nbytes,
+                            blocks[dst] if blocks is not None else None,
+                        )
+                    )
+                )
+        yield from ep.wait_all(reqs)
+        return blocks[root] if blocks is not None else None
+    req = yield from ep.irecv(root, tag)
+    yield from ep.wait(req)
+    return req.data
+
+
+def scatterv(
+    ep: "Endpoint",
+    root: int,
+    nbytes_list: typing.Sequence[float] | None,
+    blocks: typing.Sequence[object] | None = None,
+) -> typing.Generator:
+    """Variable-size scatter: rank ``i`` receives ``nbytes_list[i]`` bytes.
+
+    ``nbytes_list`` (and ``blocks``) are significant at the root only.
+    Returns this rank's block.
+    """
+    begin_collective(ep)
+    size, rank = ep.size, ep.rank
+    tag = coll_tag(ep)
+    if rank == root:
+        if nbytes_list is None or len(nbytes_list) != size:
+            raise ValueError(f"root needs {size} sizes")
+        if blocks is not None and len(blocks) != size:
+            raise ValueError(f"need {size} blocks, got {len(blocks)}")
+        reqs = []
+        for dst in range(size):
+            if dst != root:
+                reqs.append(
+                    (
+                        yield from ep.isend(
+                            dst, tag, nbytes_list[dst],
+                            blocks[dst] if blocks is not None else None,
+                        )
+                    )
+                )
+        yield from ep.wait_all(reqs)
+        return blocks[root] if blocks is not None else None
+    req = yield from ep.irecv(root, tag)
+    yield from ep.wait(req)
+    return req.data

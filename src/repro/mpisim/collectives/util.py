@@ -1,0 +1,31 @@
+"""Shared helpers for collective algorithms."""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.endpoint import Endpoint
+
+
+def coll_tag(ep: "Endpoint", round_no: int = 0) -> int:
+    """Tag for the current collective invocation (round-disambiguated).
+
+    Collectives are invoked in the same order on every rank (an MPI
+    requirement), so a per-endpoint invocation counter yields matching
+    tags without negotiation.
+    """
+    base = 1 << 20
+    return base + ep.coll_seq * 64 + round_no
+
+
+def begin_collective(ep: "Endpoint") -> None:
+    """Advance the collective invocation counter."""
+    ep.coll_seq += 1
+
+
+def default_op(a: object, b: object) -> object:
+    """Default reduction operator (elementwise / scalar sum)."""
+    if a is None or b is None:
+        return None
+    return a + b  # numpy arrays broadcast; scalars add

@@ -1,0 +1,540 @@
+"""Per-rank library endpoint: state + the polling progress engine.
+
+The endpoint owns everything one MPI process's library layer holds: the
+matching queues, in-flight protocol states, the registration cache, the
+monitor, and -- critically -- :meth:`Endpoint.poll`, the **polling
+progress engine**.  Protocol state advances *only* inside ``poll``, and
+``poll`` runs only while the application executes library code.  This is
+the paper's explanatory mechanism: "Polling progress in these libraries
+requires that communicating processes make frequent calls that invoke the
+progress engine to ensure continuous transfer progress."
+
+All methods that consume simulated CPU time are generator coroutines.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.monitor import Monitor, NullMonitor
+from repro.mpisim.config import MpiConfig
+from repro.mpisim.matching import MatchingEngine, UnexpectedMsg
+from repro.mpisim.packets import CtsPacket, EagerPacket, FinPacket, RtsPacket
+from repro.mpisim.request import Request
+from repro.mpisim.status import ANY_SOURCE, ANY_TAG, MpiError, Status
+from repro.netsim.fabric import Fabric
+from repro.netsim.memory import RegistrationCache
+from repro.netsim.nic import InboundPacket, Nic
+from repro.sim import AnyOf, Engine
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.protocols.base import RendezvousProtocol
+
+MonitorLike = typing.Union[Monitor, NullMonitor]
+
+
+class SendState:
+    """Sender-side record of one in-flight rendezvous message."""
+
+    __slots__ = (
+        "seq",
+        "req",
+        "dest",
+        "tag",
+        "nbytes",
+        "data",
+        "bufkey",
+        "xfer_id",
+        "frags_pending",
+        "protocol",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        req: Request,
+        dest: int,
+        tag: int,
+        nbytes: float,
+        data: object,
+        bufkey: object,
+        protocol: "RendezvousProtocol",
+    ) -> None:
+        self.seq = seq
+        self.req = req
+        self.dest = dest
+        self.tag = tag
+        self.nbytes = nbytes
+        self.data = data
+        self.bufkey = bufkey
+        self.xfer_id: int = -1
+        self.frags_pending = 0
+        self.protocol = protocol
+
+
+class RecvState:
+    """Receiver-side record of one in-flight rendezvous message."""
+
+    __slots__ = ("seq", "req", "src", "tag", "nbytes", "remaining", "xfer_id", "protocol")
+
+    def __init__(
+        self,
+        seq: int,
+        req: Request,
+        src: int,
+        tag: int,
+        nbytes: float,
+        protocol: "RendezvousProtocol",
+    ) -> None:
+        self.seq = seq
+        self.req = req
+        self.src = src
+        self.tag = tag
+        self.nbytes = nbytes
+        self.remaining = 0.0
+        self.xfer_id: int = -1
+        self.protocol = protocol
+
+
+class Endpoint:
+    """One rank's communication-library instance."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        rank: int,
+        size: int,
+        config: MpiConfig,
+        monitor: MonitorLike,
+    ) -> None:
+        self.engine = engine
+        self.fabric = fabric
+        self.params = fabric.params
+        self.rank = rank
+        self.size = size
+        self.config = config
+        self.monitor = monitor
+        self.nics: list[Nic] = fabric.nics_of(rank)[: config.nics_per_node]
+        self.matching = MatchingEngine()
+        self.regcache = RegistrationCache(
+            self.params,
+            max_entries=config.regcache_entries if config.leave_pinned else 0,
+        )
+        self.sends: dict[int, SendState] = {}
+        self.recvs: dict[tuple[int, int], RecvState] = {}
+        self._seq = 0
+        self._rail_rr = 0
+        #: Collective invocation counter (drives collective tag agreement).
+        self.coll_seq = 0
+        #: Local completions (CQ entries with stamping contexts) not yet
+        #: drained; MPI_Finalize polls until this reaches zero.
+        self.pending_local_completions = 0
+        # Late-bound to break the import cycle with the protocol modules.
+        from repro.mpisim.protocols import make_protocol
+
+        self.protocol: "RendezvousProtocol" = make_protocol(config.rndv_mode)
+
+    # -- small helpers -------------------------------------------------------
+    def busy(self, seconds: float):
+        """CPU occupancy: a timeout event (yield it to spend the time)."""
+        return self.engine.timeout(seconds)
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def nic_for(self, rank: int, rail: int = 0) -> Nic:
+        return self.fabric.nic(rank, rail)
+
+    def next_rail(self) -> Nic:
+        """Round-robin rail selection for fragment striping."""
+        nic = self.nics[self._rail_rr % len(self.nics)]
+        self._rail_rr += 1
+        return nic
+
+    @property
+    def control_size(self) -> float:
+        return self.params.control_packet_size
+
+    # ======================================================================
+    # Progress engine
+    # ======================================================================
+    def poll(self) -> typing.Generator:
+        """Drain all pending CQ entries and inbound packets; returns True if
+        anything was processed.
+
+        Every drained item costs one ``poll_cost`` of CPU; an empty poll
+        costs one ``poll_cost`` (the check itself).  Handlers may consume
+        further CPU (copies, pinning, posting).
+        """
+        yield self.busy(self.params.poll_cost)
+        progressed = False
+        while True:
+            item: tuple[str, object] | None = None
+            for nic in self.nics:
+                if nic.cq:
+                    item = ("cq", nic.cq.popleft())
+                    break
+                if nic.inbound:
+                    item = ("in", nic.inbound.popleft())
+                    break
+            if item is None:
+                break
+            progressed = True
+            yield self.busy(self.params.poll_cost)
+            kind, payload = item
+            if kind == "cq":
+                action = payload.context  # type: ignore[union-attr]
+                if action is not None:
+                    result = action()
+                    if result is not None:
+                        yield from result
+            else:
+                yield from self._dispatch_packet(
+                    typing.cast(InboundPacket, payload)
+                )
+        return progressed
+
+    def _dispatch_packet(self, pkt: InboundPacket) -> typing.Generator:
+        payload = pkt.payload
+        if isinstance(payload, EagerPacket):
+            yield from self._on_eager(payload)
+        elif isinstance(payload, RtsPacket):
+            yield from self._on_rts(payload)
+        elif isinstance(payload, CtsPacket):
+            st = self.sends.get(payload.seq)
+            if st is None:
+                raise MpiError(f"CTS for unknown send seq {payload.seq}")
+            yield from st.protocol.on_cts(self, st)
+        elif isinstance(payload, FinPacket):
+            if payload.to_sender:
+                st = self.sends.pop(payload.seq, None)
+                if st is None:
+                    raise MpiError(f"FIN for unknown send seq {payload.seq}")
+                yield from st.protocol.on_fin_to_sender(self, st)
+            else:
+                rst = self.recvs.pop((payload.src, payload.seq), None)
+                if rst is None:
+                    raise MpiError(f"FIN for unknown recv {payload.src}/{payload.seq}")
+                yield from rst.protocol.on_fin_to_receiver(self, rst, payload.data)
+        else:
+            raise MpiError(f"unknown packet payload {payload!r}")
+
+    # -- arrival handlers ------------------------------------------------------
+    def _on_eager(self, pkt: EagerPacket) -> typing.Generator:
+        req = self.matching.match_arrival(pkt.src, pkt.tag, pkt.ctx)
+        if req is None:
+            self.matching.add_unexpected(
+                UnexpectedMsg("eager", pkt.seq, pkt.src, pkt.tag, pkt.nbytes,
+                              pkt.data, 0.0, pkt.ctx)
+            )
+            return
+        yield from self._deliver_eager(req, pkt.src, pkt.tag, pkt.nbytes, pkt.data)
+
+    def _deliver_eager(
+        self, req: Request, src: int, tag: int, nbytes: float, data: object
+    ) -> typing.Generator:
+        """Copy an eager message out of library buffers into the user buffer.
+
+        The receiver never observed the initiation ("the initiation of the
+        send is transparent to the receiver"), so this stamps an END-only
+        event -- bounding case 3.  Rank-to-self messages moved no network
+        bytes and stamp nothing.
+        """
+        yield self.busy(self.params.copy_time(nbytes))
+        if src != self.rank:
+            self.monitor.xfer_end_only(nbytes)
+        req.complete(Status(src, tag, nbytes), data)
+
+    def _on_rts(self, pkt: RtsPacket) -> typing.Generator:
+        req = self.matching.match_arrival(pkt.src, pkt.tag, pkt.ctx)
+        if req is None:
+            self.matching.add_unexpected(
+                UnexpectedMsg("rts", pkt.seq, pkt.src, pkt.tag, pkt.nbytes,
+                              pkt.frag_data, pkt.frag_nbytes, pkt.ctx)
+            )
+            return
+        yield from self._start_rendezvous_recv(
+            req, pkt.seq, pkt.src, pkt.tag, pkt.nbytes, pkt.frag_nbytes, pkt.frag_data
+        )
+
+    def _start_rendezvous_recv(
+        self,
+        req: Request,
+        seq: int,
+        src: int,
+        tag: int,
+        nbytes: float,
+        frag_nbytes: float,
+        frag_data: object,
+    ) -> typing.Generator:
+        rst = RecvState(seq, req, src, tag, nbytes, self.protocol)
+        self.recvs[(src, seq)] = rst
+        yield from rst.protocol.start_recv(self, rst, frag_nbytes, frag_data)
+
+    # ======================================================================
+    # Point-to-point internals (no CALL_ENTER/EXIT stamping -- the Comm
+    # wrapper owns call demarcation; collectives reuse these directly)
+    # ======================================================================
+    def isend(
+        self,
+        dest: int,
+        tag: int,
+        nbytes: float,
+        data: object = None,
+        bufkey: object = None,
+        context: int = 0,
+    ) -> typing.Generator:
+        """Start a send; returns the :class:`Request`."""
+        self._check_peer(dest)
+        if tag < 0:
+            raise MpiError(f"send tag must be non-negative, got {tag}")
+        # Like the real libraries, every entry into the library opportunistically
+        # runs the progress engine (this is where earlier sends' completions
+        # are typically reaped).
+        yield from self.poll()
+        req = Request("send", self.rank, dest, tag, nbytes, context)
+        if dest == self.rank:
+            yield from self._self_send(req, tag, nbytes, data, context)
+            return req
+        if nbytes <= self.config.eager_limit:
+            yield from self._eager_send(req, dest, tag, nbytes, data, context)
+        else:
+            seq = self.next_seq()
+            st = SendState(
+                seq, req, dest, tag, nbytes, _buffer_snapshot(data),
+                bufkey if bufkey is not None else ("send", dest, tag, nbytes),
+                self.protocol,
+            )
+            self.sends[seq] = st
+            yield from st.protocol.start_send(self, st)
+        return req
+
+    def _eager_send(
+        self, req: Request, dest: int, tag: int, nbytes: float, data: object,
+        context: int = 0,
+    ) -> typing.Generator:
+        """Eager protocol: buffer the message and post it; the send request
+        completes locally (buffered semantics).  The XFER_END is stamped by
+        whichever later call drains the local completion.
+
+        Two wire mechanisms (config.eager_mode): Open MPI posts on the
+        send channel (local completion when the DMA drains the bounce
+        buffer); MVAPICH2 RDMA-writes into the receiver's pre-registered
+        buffers with a notification (local completion at remote placement).
+        """
+        yield self.busy(self.params.copy_time(nbytes))
+        yield self.busy(self.params.post_cost)
+        xid = self.monitor.xfer_begin(nbytes)
+        pkt = EagerPacket(self.next_seq(), self.rank, tag, nbytes,
+                          _buffer_snapshot(data), context)
+
+        def on_send_done() -> None:
+            self.monitor.xfer_end(xid, nbytes)
+
+        if self.config.eager_mode == "rdma_write":
+            self.nics[0].post_rdma_write(
+                self.nic_for(dest),
+                nbytes + self.control_size,
+                context=self.track_local(on_send_done),
+                notify_payload=pkt,
+            )
+        else:
+            self.nics[0].post_send(
+                self.nic_for(dest),
+                nbytes + self.control_size,
+                pkt,
+                context=self.track_local(on_send_done),
+            )
+        req.complete()
+
+    def _self_send(
+        self, req: Request, tag: int, nbytes: float, data: object,
+        context: int = 0,
+    ) -> typing.Generator:
+        """Rank-to-self message: a local copy, no network, no XFER events."""
+        yield self.busy(self.params.copy_time(nbytes))
+        snapshot = _buffer_snapshot(data)
+        posted = self.matching.match_arrival(self.rank, tag, context)
+        if posted is not None:
+            posted.complete(Status(self.rank, tag, nbytes), snapshot)
+        else:
+            self.matching.add_unexpected(
+                UnexpectedMsg("eager", self.next_seq(), self.rank, tag, nbytes,
+                              snapshot, 0.0, context)
+            )
+        req.complete()
+
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, context: int = 0
+    ) -> typing.Generator:
+        """Post a receive; returns the :class:`Request`.
+
+        If a matching arrival is already queued unexpected, it is consumed
+        here -- for a rendezvous announcement this is where the data
+        transfer is initiated (inside the ``Irecv`` call)."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        yield from self.poll()  # opportunistic progress on library entry
+        req = Request("recv", source, self.rank, tag, 0.0, context)
+        msg = self.matching.post_recv(req)
+        if msg is not None:
+            if msg.kind == "eager":
+                yield from self._deliver_eager(req, msg.src, msg.tag, msg.nbytes, msg.data)
+            else:
+                yield from self._start_rendezvous_recv(
+                    req, msg.seq, msg.src, msg.tag, msg.nbytes,
+                    msg.frag_nbytes, msg.data,
+                )
+        return req
+
+    # -- completion driving ----------------------------------------------------
+    def progress_until(self, pred: typing.Callable[[], bool]) -> typing.Generator:
+        """Poll until ``pred()`` holds, sleeping on NIC activity when idle."""
+        while not pred():
+            progressed = yield from self.poll()
+            if pred():
+                break
+            if not progressed:
+                yield AnyOf(self.engine, [nic.wait_activity() for nic in self.nics])
+
+    def wait(self, req: Request) -> typing.Generator:
+        """Drive one request to completion; returns its :class:`Status`."""
+        yield from self.progress_until(lambda: req.done)
+        return req.status
+
+    def wait_all(self, reqs: typing.Sequence[Request]) -> typing.Generator:
+        """Drive several requests to completion; returns their statuses."""
+        yield from self.progress_until(lambda: all(r.done for r in reqs))
+        return [r.status for r in reqs]
+
+    def wait_any(self, reqs: typing.Sequence[Request]) -> typing.Generator:
+        """Drive until at least one request completes; returns the index of
+        the first completed request (lowest index, MPI_Waitany-style)."""
+        if not reqs:
+            raise MpiError("wait_any needs at least one request")
+        yield from self.progress_until(lambda: any(r.done for r in reqs))
+        for i, req in enumerate(reqs):
+            if req.done:
+                return i
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def wait_some(self, reqs: typing.Sequence[Request]) -> typing.Generator:
+        """Drive until at least one request completes; returns the indices
+        of every completed request (MPI_Waitsome-style)."""
+        if not reqs:
+            raise MpiError("wait_some needs at least one request")
+        yield from self.progress_until(lambda: any(r.done for r in reqs))
+        return [i for i, r in enumerate(reqs) if r.done]
+
+    def test(self, req: Request) -> typing.Generator:
+        """One progress poll; returns True if the request completed."""
+        if not req.done:
+            yield from self.poll()
+        return req.done
+
+    def test_all(self, reqs: typing.Sequence[Request]) -> typing.Generator:
+        """One progress poll; returns True if every request completed."""
+        if not all(r.done for r in reqs):
+            yield from self.poll()
+        return all(r.done for r in reqs)
+
+    def cancel(self, req: Request) -> typing.Generator:
+        """Cancel a posted receive that has not matched yet.
+
+        Returns True if cancelled (the request is then complete with
+        ``cancelled`` set); False if it already matched or completed --
+        the MPI semantics: cancellation of a matched receive fails.
+        Send requests cannot be cancelled (the data may be on the wire).
+        """
+        yield from self.poll()
+        if req.done:
+            return False
+        if req.kind != "recv":
+            raise MpiError("only receive requests can be cancelled")
+        if self.matching.cancel_recv(req):
+            req.cancelled = True
+            req.complete()
+            return True
+        return False
+
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, context: int = 0
+    ) -> typing.Generator:
+        """One progress poll; returns the Status of a matchable arrival, or
+        None.  (The poll itself is the SP-tuning mechanism of Sec. 4.3.)"""
+        yield from self.poll()
+        msg = self.matching.peek(source, tag, context)
+        if msg is None:
+            return None
+        return Status(msg.src, msg.tag, msg.nbytes)
+
+    def probe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG, context: int = 0
+    ) -> typing.Generator:
+        """Block until a matchable arrival is queued; returns its Status."""
+        result: list[Status] = []
+
+        def found() -> bool:
+            msg = self.matching.peek(source, tag, context)
+            if msg is not None:
+                result.clear()
+                result.append(Status(msg.src, msg.tag, msg.nbytes))
+                return True
+            return False
+
+        yield from self.progress_until(found)
+        return result[0]
+
+    # -- misc -------------------------------------------------------------------
+    def _check_peer(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise MpiError(f"peer rank {rank} out of range [0, {self.size})")
+
+    def track_local(self, fn: typing.Callable[[], object]) -> typing.Callable[[], object]:
+        """Wrap a CQ context so Finalize knows a completion is pending."""
+        self.pending_local_completions += 1
+
+        def wrapper() -> object:
+            self.pending_local_completions -= 1
+            return fn()
+
+        return wrapper
+
+    def quiescent(self) -> bool:
+        """True when no protocol state or stamped completion is outstanding."""
+        return (
+            not self.sends
+            and not self.recvs
+            and self.pending_local_completions == 0
+            and all(not nic.cq and not nic.inbound for nic in self.nics)
+        )
+
+    def finalize(self) -> typing.Generator:
+        """Drain outstanding protocol state (the body of ``MPI_Finalize``).
+
+        Without this, late local send completions would be resolved as
+        over-optimistic case-3 transfers instead of being observed in the
+        finalize call.
+        """
+        yield from self.progress_until(self.quiescent)
+
+    def send_control(self, dest: int, payload: object) -> typing.Generator:
+        """Post a control packet (costs one descriptor post)."""
+        yield self.busy(self.params.post_cost)
+        self.nics[0].post_send(
+            self.nic_for(dest), self.control_size, payload, context=None
+        )
+
+
+def _buffer_snapshot(data: object) -> object:
+    """Model send-buffer capture: numpy arrays are copied (the library may
+    buffer them); immutable payloads pass through."""
+    import numpy as np
+
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    if isinstance(data, bytearray):
+        return bytes(data)
+    return data

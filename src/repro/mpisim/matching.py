@@ -1,0 +1,104 @@
+"""Tag/source matching: posted-receive and unexpected-message queues.
+
+MPI matching semantics: a receive matches the oldest arrival whose
+``(source, tag)`` satisfies its (possibly wildcard) signature, and an
+arrival matches the oldest posted receive it satisfies.  Per-pair FIFO
+order is guaranteed by the NIC model, so scanning in list order implements
+the non-overtaking rule.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.request import Request
+from repro.mpisim.status import ANY_SOURCE, ANY_TAG
+
+
+class UnexpectedMsg(typing.NamedTuple):
+    """An arrival for which no receive was posted yet.
+
+    ``kind`` is ``"eager"`` (data already here, in a library buffer) or
+    ``"rts"`` (a rendezvous announcement; data still on the sender).
+    """
+
+    kind: str
+    seq: int
+    src: int
+    tag: int
+    nbytes: float
+    data: object
+    frag_nbytes: float
+    #: Communicator context id.
+    ctx: int = 0
+
+
+def _matches(
+    want_src: int, want_tag: int, want_ctx: int, src: int, tag: int, ctx: int
+) -> bool:
+    # The context id is never wildcarded: sub-communicators are isolated.
+    return (
+        want_ctx == ctx
+        and (want_src == ANY_SOURCE or want_src == src)
+        and (want_tag == ANY_TAG or want_tag == tag)
+    )
+
+
+class MatchingEngine:
+    """One rank's posted and unexpected queues."""
+
+    def __init__(self) -> None:
+        self._posted: list[Request] = []
+        self._unexpected: list[UnexpectedMsg] = []
+        #: Diagnostics: how many arrivals landed unexpected.
+        self.unexpected_count = 0
+
+    # -- receive side ------------------------------------------------------
+    def post_recv(self, req: Request) -> UnexpectedMsg | None:
+        """Register a receive; returns a matching unexpected arrival if one
+        is already queued (the receive is then *not* added to the posted
+        queue -- the caller consumes the arrival immediately)."""
+        for i, msg in enumerate(self._unexpected):
+            if _matches(req.source, req.tag, req.context, msg.src, msg.tag, msg.ctx):
+                del self._unexpected[i]
+                return msg
+        self._posted.append(req)
+        return None
+
+    def cancel_recv(self, req: Request) -> bool:
+        """Remove a posted receive (returns False if already matched)."""
+        try:
+            self._posted.remove(req)
+        except ValueError:
+            return False
+        return True
+
+    # -- arrival side --------------------------------------------------------
+    def match_arrival(self, src: int, tag: int, ctx: int = 0) -> Request | None:
+        """Find the oldest posted receive matching an arrival, removing it."""
+        for i, req in enumerate(self._posted):
+            if _matches(req.source, req.tag, req.context, src, tag, ctx):
+                del self._posted[i]
+                return req
+        return None
+
+    def add_unexpected(self, msg: UnexpectedMsg) -> None:
+        """Queue an arrival that matched no posted receive."""
+        self._unexpected.append(msg)
+        self.unexpected_count += 1
+
+    # -- probe ---------------------------------------------------------------
+    def peek(self, source: int, tag: int, ctx: int = 0) -> UnexpectedMsg | None:
+        """Oldest unexpected arrival matching ``(source, tag)``, not removed."""
+        for msg in self._unexpected:
+            if _matches(source, tag, ctx, msg.src, msg.tag, msg.ctx):
+                return msg
+        return None
+
+    @property
+    def posted_count(self) -> int:
+        return len(self._posted)
+
+    @property
+    def unexpected_pending(self) -> int:
+        return len(self._unexpected)

@@ -1,0 +1,63 @@
+"""Wire envelopes exchanged by the simulated MPI protocols.
+
+Control packets (RTS / CTS / FIN) implement the rendezvous handshakes.
+Per the paper's PERUSE-derived terminology (Sec. 2.1), control packets are
+**not** part of the message transfer and are never stamped with XFER
+events; only packets moving user-message bytes are.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+class EagerPacket(typing.NamedTuple):
+    """Short message sent through bounce buffers; carries the user data."""
+
+    seq: int
+    src: int
+    tag: int
+    nbytes: float
+    data: object
+    #: Communicator context id (sub-communicators never cross-match).
+    ctx: int = 0
+
+
+class RtsPacket(typing.NamedTuple):
+    """Rendezvous request-to-send (control).
+
+    For the pipelined scheme the first user fragment rides along with the
+    RTS ("a combined send request plus first fragment descriptor is sent",
+    Sec. 3.5); ``frag_nbytes`` > 0 and ``frag_data`` carry it.
+    """
+
+    seq: int
+    src: int
+    tag: int
+    nbytes: float
+    frag_nbytes: float
+    frag_data: object
+    #: Communicator context id (sub-communicators never cross-match).
+    ctx: int = 0
+
+
+class CtsPacket(typing.NamedTuple):
+    """Receiver's clear-to-send / acknowledgment (control)."""
+
+    seq: int
+    src: int  # the *receiver's* rank (sender of this packet)
+
+
+class FinPacket(typing.NamedTuple):
+    """Transfer-complete notification (control).
+
+    ``to_sender`` distinguishes the two directions: the receiver tells the
+    sender its buffer was read (rget), or the sender tells the receiver all
+    fragments were written (pipelined / rput).  ``data`` carries the payload
+    reference for zero-copy completions.
+    """
+
+    seq: int
+    src: int
+    to_sender: bool
+    data: object

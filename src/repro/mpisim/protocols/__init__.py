@@ -1,0 +1,43 @@
+"""Long-message rendezvous protocol implementations.
+
+Three schemes, matching the designs the paper evaluates (Sec. 3.5):
+
+* :mod:`~repro.mpisim.protocols.rendezvous_pipelined` -- Open MPI default:
+  RTS carries the first fragment; after the receiver's ACK the sender
+  pipelines the remaining fragments as RDMA Writes.
+* :mod:`~repro.mpisim.protocols.rendezvous_rget` -- direct RDMA Read
+  (Open MPI under ``mpi_leave_pinned``; MVAPICH2's zero-copy design).
+* :mod:`~repro.mpisim.protocols.rendezvous_rput` -- single-shot RDMA
+  Write after a CTS (an ablation variant).
+"""
+
+from repro.mpisim.protocols.base import RendezvousProtocol
+from repro.mpisim.protocols.rendezvous_pipelined import PipelinedRdmaProtocol
+from repro.mpisim.protocols.rendezvous_rget import RdmaReadProtocol
+from repro.mpisim.protocols.rendezvous_rput import RdmaWriteProtocol
+
+_REGISTRY: dict[str, type[RendezvousProtocol]] = {
+    "pipelined": PipelinedRdmaProtocol,
+    "rget": RdmaReadProtocol,
+    "rput": RdmaWriteProtocol,
+}
+
+
+def make_protocol(mode: str) -> RendezvousProtocol:
+    """Instantiate the rendezvous protocol named ``mode``."""
+    try:
+        cls = _REGISTRY[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown rendezvous mode {mode!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "PipelinedRdmaProtocol",
+    "RdmaReadProtocol",
+    "RdmaWriteProtocol",
+    "RendezvousProtocol",
+    "make_protocol",
+]

@@ -1,0 +1,112 @@
+"""Request objects returned by non-blocking operations."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mpisim.status import Status
+
+
+class Request:
+    """Handle for an in-flight non-blocking send or receive.
+
+    Completion is driven by the polling progress engine; a request never
+    completes "in the background" from the host's perspective -- some
+    library call must poll it to completion, which is exactly the
+    synchronous-completion behaviour the paper studies.
+    """
+
+    __slots__ = (
+        "kind",
+        "done",
+        "status",
+        "data",
+        "source",
+        "dest",
+        "tag",
+        "nbytes",
+        "cancelled",
+        "context",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        source: int,
+        dest: int,
+        tag: int,
+        nbytes: float,
+        context: int = 0,
+    ) -> None:
+        if kind not in ("send", "recv"):
+            raise ValueError(f"bad request kind {kind!r}")
+        self.kind = kind
+        self.done = False
+        self.cancelled = False
+        self.status: Status | None = None
+        #: Received payload (receives only; None for size-only messages).
+        self.data: object = None
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.nbytes = nbytes
+        #: Communicator context id (sub-communicators never cross-match).
+        self.context = context
+
+    def complete(self, status: Status | None = None, data: object = None) -> None:
+        """Mark the request finished (called by the progress engine)."""
+        if self.done:
+            raise RuntimeError(f"{self!r} completed twice")
+        self.done = True
+        self.status = status
+        self.data = data
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return (
+            f"<Request {self.kind} {state} src={self.source} dst={self.dest} "
+            f"tag={self.tag} n={self.nbytes}>"
+        )
+
+
+class PersistentRequest:
+    """A reusable communication recipe (``MPI_Send_init``/``MPI_Recv_init``).
+
+    Persistent requests amortize argument setup for fixed communication
+    patterns: the paper-era NPB codes use them in inner loops.  ``start``
+    posts a fresh underlying operation; the handle is *inactive* between a
+    completed wait and the next start.
+    """
+
+    __slots__ = ("kind", "peer", "tag", "nbytes", "data", "bufkey", "active")
+
+    def __init__(
+        self,
+        kind: str,
+        peer: int,
+        tag: int,
+        nbytes: float,
+        data: object = None,
+        bufkey: object = None,
+    ) -> None:
+        if kind not in ("send", "recv"):
+            raise ValueError(f"bad persistent request kind {kind!r}")
+        self.kind = kind
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+        self.data = data
+        self.bufkey = bufkey
+        #: The in-flight Request while started, else None.
+        self.active: Request | None = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.active is not None and not self.active.done
+
+    def __repr__(self) -> str:
+        state = "active" if self.is_active else "inactive"
+        return (
+            f"<PersistentRequest {self.kind} {state} peer={self.peer} "
+            f"tag={self.tag} n={self.nbytes}>"
+        )

@@ -1,0 +1,22 @@
+"""Constants, status objects, and errors for the simulated MPI layer."""
+
+from __future__ import annotations
+
+import typing
+
+#: Wildcard source for receives (matches any sender).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (matches any tag).
+ANY_TAG = -1
+
+
+class MpiError(RuntimeError):
+    """Raised on misuse of the simulated MPI API."""
+
+
+class Status(typing.NamedTuple):
+    """Completion status of a receive (source, tag, and byte count)."""
+
+    source: int
+    tag: int
+    nbytes: float

@@ -1,0 +1,69 @@
+"""Shared scaffolding for the NAS kernels."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuModel:
+    """Host compute-speed model.
+
+    ``flop_rate`` is a *sustained* rate for NPB-era Xeons (the paper's
+    2.4 GHz P4 Xeon sustains a few hundred Mflop/s on these kernels, far
+    below peak).  Kernels convert their per-iteration flop counts into
+    simulated computation time through this single knob, so the
+    compute:communication ratio -- the quantity the overlap study depends
+    on -- scales the way the real benchmarks scale.
+    """
+
+    flop_rate: float = 400e6
+
+    def time_for(self, flops: float) -> float:
+        """Seconds of CPU time for ``flops`` floating-point operations."""
+        if flops < 0:
+            raise ValueError(f"negative flop count {flops!r}")
+        return flops / self.flop_rate
+
+    def __post_init__(self) -> None:
+        if self.flop_rate <= 0:
+            raise ValueError("flop_rate must be positive")
+
+
+#: Bytes per double-precision word (all NPB payloads are doubles).
+WORD = 8
+
+
+def square_grid_side(nprocs: int) -> int:
+    """Side of a square process grid; raises unless ``nprocs`` is square.
+
+    BT and SP require square counts (the paper uses 4, 9, 16).
+    """
+    side = math.isqrt(nprocs)
+    if side * side != nprocs:
+        raise ValueError(f"{nprocs} ranks: BT/SP need a perfect square")
+    return side
+
+
+def two_d_grid(nprocs: int) -> tuple[int, int]:
+    """Near-square 2-D factorization (px <= py, px * py == nprocs)."""
+    px = math.isqrt(nprocs)
+    while nprocs % px != 0:
+        px -= 1
+    return px, nprocs // px
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def cg_proc_grid(nprocs: int) -> tuple[int, int]:
+    """CG's process grid: num_proc_rows x num_proc_cols, both powers of
+    two with cols >= rows (the NPB constraint)."""
+    if not is_power_of_two(nprocs):
+        raise ValueError(f"{nprocs} ranks: CG needs a power of two")
+    log2 = nprocs.bit_length() - 1
+    rows = 1 << (log2 // 2)
+    cols = nprocs // rows
+    return rows, cols

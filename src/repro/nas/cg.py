@@ -1,0 +1,105 @@
+"""NAS CG: conjugate gradient on a random sparse matrix.
+
+Communication structure per NPB 3.2 ``cg.f``: the matrix is distributed on
+a ``num_proc_rows x num_proc_cols`` grid (both powers of two).  Every CG
+iteration performs
+
+* a sparse matvec (the dominant computation),
+* a row-wise partial-sum reduction of the result vector
+  (``l2npcols`` exchanges of shrinking vector segments),
+* a transpose exchange with the rank's transpose partner
+  (``na / num_proc_cols`` doubles -- the benchmark's largest message),
+* two scalar dot-product reductions (``l2npcols`` 8-byte exchanges each).
+
+"CG sends a larger proportion of short messages" than BT (paper
+Sec. 4.1): the scalar reductions dominate the message count, while the
+transpose dominates the byte count -- and grows with class, which is why
+"for larger problem sizes and smaller processor counts ... observed
+overlaps drop".
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.nas.base import WORD, CpuModel, cg_proc_grid
+from repro.nas.classes import problem
+from repro.runtime.world import RankContext
+
+#: Inner CG iterations per outer iteration (NPB's cgitmax).
+CG_INNER = 25
+
+_TAG_ROWSUM = 100
+_TAG_TRANSPOSE = 101
+_TAG_DOT = 102
+
+
+def transpose_partner(rank: int, rows: int, cols: int) -> int:
+    """NPB CG's transpose-exchange partner (an involution for cols ==
+    rows and for cols == 2 * rows, the only legal shapes)."""
+    r, c = divmod(rank, cols)
+    return (c % rows) * cols + (r + rows * (c // rows))
+
+
+def _sendrecv(ctx: RankContext, peer: int, tag: int, nbytes: float) -> typing.Generator:
+    """NPB CG's exchange idiom: irecv posted, then send, then wait."""
+    req = yield from ctx.comm.irecv(peer, tag)
+    yield from ctx.comm.send(peer, tag, nbytes)
+    yield from ctx.comm.wait(req)
+
+
+def cg_app(
+    ctx: RankContext,
+    klass: str = "A",
+    niter: int | None = None,
+    cpu: CpuModel | None = None,
+    inner: int = CG_INNER,
+) -> typing.Generator:
+    """Run CG on one rank; returns the verification scalar (identical on
+    every rank)."""
+    pc = problem("cg", klass)
+    cpu = cpu or CpuModel()
+    na, nonzer, _ = pc.dims
+    outer = pc.niter if niter is None else niter
+    rows, cols = cg_proc_grid(ctx.size)
+    l2npcols = cols.bit_length() - 1
+    rank = ctx.rank
+    row, col = divmod(rank, cols)
+
+    # Per-rank structural sizes.
+    nnz_total = na * (nonzer + 1) * (nonzer + 1)
+    matvec_flops = 2.0 * nnz_total / ctx.size
+    vector_flops = 8.0 * na / ctx.size  # axpys, dot products, etc.
+    seg_bytes = max(WORD, na // cols * WORD)
+
+    def row_peer(i: int) -> int:
+        return row * cols + (col ^ (1 << i))
+
+    exch = transpose_partner(rank, rows, cols)
+
+    check = 0.0
+    for it in range(outer):
+        for _ in range(inner):
+            # Sparse matvec.
+            yield from ctx.compute(cpu.time_for(matvec_flops))
+            # Row-wise partial-sum reduction: vector segments halve per stage.
+            for i in range(l2npcols):
+                size = max(WORD, seg_bytes >> (i + 1))
+                yield from _sendrecv(ctx, row_peer(i), _TAG_ROWSUM, size)
+            # Transpose exchange (skip when the partner is this rank).
+            if exch != rank:
+                yield from _sendrecv(ctx, exch, _TAG_TRANSPOSE, seg_bytes)
+            # Vector updates.
+            yield from ctx.compute(cpu.time_for(vector_flops))
+            # Two scalar reductions (rho and d).
+            for _ in range(2):
+                for i in range(l2npcols):
+                    yield from _sendrecv(ctx, row_peer(i), _TAG_DOT, WORD)
+        # Outer-iteration residual norm: a true allreduce so all ranks can
+        # verify agreement.
+        local = float((rank + 1) * (it + 1))
+        total = yield from ctx.comm.allreduce(local, WORD)
+        check += total
+    expected_last = sum(range(1, ctx.size + 1)) * outer * (outer + 1) / 2.0
+    assert check == expected_last, "CG verification mismatch"
+    return check

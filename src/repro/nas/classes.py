@@ -1,0 +1,100 @@
+"""NPB 3.2 problem-class tables.
+
+Grid sizes and structural parameters are the official NPB values; default
+iteration counts are the official ones, but every kernel accepts a smaller
+``niter`` so simulations stay fast (iteration count scales run length, not
+per-iteration communication structure).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ProblemClass:
+    """Parameters of one benchmark at one class."""
+
+    benchmark: str
+    klass: str
+    #: 3-D grid (nx, ny, nz) for grid benchmarks; (na, nonzer, 0) for CG;
+    #: (log2 samples, 0, 0) for EP; (log2 keys, log2 max key, 0) for IS.
+    dims: tuple[int, int, int]
+    #: Official iteration count.
+    niter: int
+
+    @property
+    def grid_points(self) -> float:
+        nx, ny, nz = self.dims
+        return float(nx) * max(ny, 1) * max(nz, 1)
+
+
+_T = ProblemClass
+
+#: benchmark -> class letter -> parameters.
+CLASSES: dict[str, dict[str, ProblemClass]] = {
+    "cg": {
+        "S": _T("cg", "S", (1400, 7, 0), 15),
+        "W": _T("cg", "W", (7000, 8, 0), 15),
+        "A": _T("cg", "A", (14000, 11, 0), 15),
+        "B": _T("cg", "B", (75000, 13, 0), 75),
+    },
+    "ft": {
+        "S": _T("ft", "S", (64, 64, 64), 6),
+        "W": _T("ft", "W", (128, 128, 32), 6),
+        "A": _T("ft", "A", (256, 256, 128), 6),
+        "B": _T("ft", "B", (512, 256, 256), 20),
+    },
+    "lu": {
+        "S": _T("lu", "S", (12, 12, 12), 50),
+        "W": _T("lu", "W", (33, 33, 33), 300),
+        "A": _T("lu", "A", (64, 64, 64), 250),
+        "B": _T("lu", "B", (102, 102, 102), 250),
+    },
+    "bt": {
+        "S": _T("bt", "S", (12, 12, 12), 60),
+        "W": _T("bt", "W", (24, 24, 24), 200),
+        "A": _T("bt", "A", (64, 64, 64), 200),
+        "B": _T("bt", "B", (102, 102, 102), 200),
+    },
+    "sp": {
+        "S": _T("sp", "S", (12, 12, 12), 100),
+        "W": _T("sp", "W", (36, 36, 36), 400),
+        "A": _T("sp", "A", (64, 64, 64), 400),
+        "B": _T("sp", "B", (102, 102, 102), 400),
+    },
+    "mg": {
+        "S": _T("mg", "S", (32, 32, 32), 4),
+        "W": _T("mg", "W", (128, 128, 128), 4),
+        "A": _T("mg", "A", (256, 256, 256), 4),
+        "B": _T("mg", "B", (256, 256, 256), 20),
+    },
+    "ep": {
+        "S": _T("ep", "S", (24, 0, 0), 1),
+        "W": _T("ep", "W", (25, 0, 0), 1),
+        "A": _T("ep", "A", (28, 0, 0), 1),
+        "B": _T("ep", "B", (30, 0, 0), 1),
+    },
+    "is": {
+        "S": _T("is", "S", (16, 11, 0), 10),
+        "W": _T("is", "W", (20, 16, 0), 10),
+        "A": _T("is", "A", (23, 19, 0), 10),
+        "B": _T("is", "B", (25, 21, 0), 10),
+    },
+}
+
+
+def problem(benchmark: str, klass: str) -> ProblemClass:
+    """Look up one benchmark/class pair (KeyError-safe with clear message)."""
+    bench = CLASSES.get(benchmark.lower())
+    if bench is None:
+        raise ValueError(
+            f"unknown benchmark {benchmark!r}; choose from {sorted(CLASSES)}"
+        )
+    pc = bench.get(klass.upper())
+    if pc is None:
+        raise ValueError(
+            f"unknown class {klass!r} for {benchmark}; choose from "
+            f"{sorted(bench)}"
+        )
+    return pc

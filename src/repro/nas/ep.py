@@ -1,0 +1,43 @@
+"""NAS EP: embarrassingly parallel random-number statistics.
+
+"We do not report performance of EP as it performs minimal communication"
+(Sec. 4) -- included for suite completeness: a large computation followed
+by three small reductions.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.nas.base import WORD, CpuModel
+from repro.nas.classes import problem
+from repro.runtime.world import RankContext
+
+#: Gaussian-pair generation cost per sample.
+FLOPS_PER_SAMPLE = 30.0
+
+
+def ep_app(
+    ctx: RankContext,
+    klass: str = "S",
+    cpu: CpuModel | None = None,
+    sample_fraction: float = 1.0,
+) -> typing.Generator:
+    """Run EP on one rank; returns the pair-count verification value.
+
+    ``sample_fraction`` scales the sample count down for fast tests
+    (communication is unaffected -- there barely is any).
+    """
+    pc = problem("ep", klass)
+    cpu = cpu or CpuModel()
+    if not 0 < sample_fraction <= 1.0:
+        raise ValueError("sample_fraction must be in (0, 1]")
+    samples = (2.0 ** pc.dims[0]) * sample_fraction / ctx.size
+    yield from ctx.compute(cpu.time_for(samples * FLOPS_PER_SAMPLE))
+    # Global sums: sx, sy, and the 10 annulus counts (modeled as 3 small
+    # allreduces, as in the NPB source).
+    sx = yield from ctx.comm.allreduce(float(ctx.rank), WORD)
+    sy = yield from ctx.comm.allreduce(float(ctx.rank) * 2.0, WORD)
+    counts = yield from ctx.comm.allreduce(1.0, 10 * WORD)
+    assert counts == float(ctx.size)
+    return (sx, sy, counts)

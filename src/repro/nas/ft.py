@@ -1,0 +1,101 @@
+"""NAS FT: 3-D FFT via transposes.
+
+Communication structure per NPB 3.2 ``ft/``: each iteration evolves the
+spectrum (pure computation) and performs the distributed transpose -- one
+``MPI_Alltoall`` moving the entire local volume -- plus a tiny checksum
+reduction.  Setup broadcasts the problem parameters.
+
+"Most of the communication in FT is done by the Alltoall collective which
+sends long messages.  These transfers do not get overlapped with
+computation.  The limited amount of overlap is due to short messages
+being exchanged in collectives like Reduce and Bcast." (Sec. 4.2.)
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.nas.base import CpuModel
+from repro.nas.classes import problem
+from repro.runtime.world import RankContext
+
+#: Complex double: 16 bytes per grid point.
+COMPLEX = 16
+
+#: FFT cost: ~5 * log2(total points) flops per point per 3-D FFT pass.
+def _fft_flops(points_total: float, points_local: float) -> float:
+    import math
+
+    return 5.0 * points_local * math.log2(max(2.0, points_total))
+
+
+EVOLVE_FLOPS_PER_POINT = 6.0
+CHECKSUM_BYTES = 16.0
+
+
+def ft_app(
+    ctx: RankContext,
+    klass: str = "A",
+    niter: int | None = None,
+    cpu: CpuModel | None = None,
+    layout: str = "1d",
+) -> typing.Generator:
+    """Run FT on one rank; returns the final checksum (identical everywhere).
+
+    ``layout`` selects the NPB decomposition: ``"1d"`` (slabs; one global
+    Alltoall per transpose) or ``"2d"`` (pencils on a ``p1 x p2`` process
+    grid; two Alltoalls per transpose, each within a sub-communicator
+    created by ``MPI_Comm_split``, as in the NPB source).
+    """
+    if layout not in ("1d", "2d"):
+        raise ValueError(f"layout must be '1d' or '2d', got {layout!r}")
+    pc = problem("ft", klass)
+    cpu = cpu or CpuModel()
+    steps = pc.niter if niter is None else niter
+    total_points = pc.grid_points
+    local_points = total_points / ctx.size
+
+    if layout == "2d":
+        from repro.nas.base import two_d_grid
+
+        p1, p2 = two_d_grid(ctx.size)
+        row_comm = yield from ctx.comm.split(color=ctx.rank // p2)
+        col_comm = yield from ctx.comm.split(color=ctx.rank % p2)
+
+        def transpose() -> typing.Generator:
+            # All local data crosses each sub-communicator once.
+            yield from row_comm.alltoall(
+                max(COMPLEX, local_points * COMPLEX / row_comm.size)
+            )
+            yield from col_comm.alltoall(
+                max(COMPLEX, local_points * COMPLEX / col_comm.size)
+            )
+    else:
+
+        def transpose() -> typing.Generator:
+            yield from ctx.comm.alltoall(
+                max(COMPLEX, local_points * COMPLEX / ctx.size)
+            )
+
+    # Setup: parameters broadcast + initial plan agreement.
+    params = yield from ctx.comm.bcast(0, 64, ("ft", klass) if ctx.rank == 0 else None)
+    assert params == ("ft", klass)
+    # Initial forward FFT (compute + transpose).
+    yield from ctx.compute(cpu.time_for(_fft_flops(total_points, local_points)))
+    yield from transpose()
+
+    checksum = 0.0
+    for step in range(steps):
+        # evolve: elementwise exponential scaling.
+        yield from ctx.compute(
+            cpu.time_for(local_points * EVOLVE_FLOPS_PER_POINT)
+        )
+        # Inverse 3-D FFT: local passes + the distributed transpose.
+        yield from ctx.compute(cpu.time_for(_fft_flops(total_points, local_points)))
+        yield from transpose()
+        # Checksum: a small reduction every iteration.
+        local = float(ctx.rank + 1) * (step + 1)
+        checksum = yield from ctx.comm.allreduce(local, CHECKSUM_BYTES)
+    expected = sum(range(1, ctx.size + 1)) * steps
+    assert checksum == expected, "FT verification mismatch"
+    return checksum

@@ -1,0 +1,52 @@
+"""NAS IS: integer bucket sort.
+
+"IS ... exhibits similar overlap behavior to FT" (Sec. 4): the key
+exchange is an Alltoallv inside one call, preceded by a small Alltoall of
+bucket counts and an Allreduce -- long collective transfers with no
+overlap opportunity.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.nas.base import CpuModel
+from repro.nas.classes import problem
+from repro.runtime.world import RankContext
+
+#: Integer key size in bytes.
+KEY = 4
+#: Counting-sort cost per key per pass.
+FLOPS_PER_KEY = 8.0
+
+
+def is_app(
+    ctx: RankContext,
+    klass: str = "S",
+    niter: int | None = None,
+    cpu: CpuModel | None = None,
+) -> typing.Generator:
+    """Run IS on one rank; returns the verified ranking checksum."""
+    pc = problem("is", klass)
+    cpu = cpu or CpuModel()
+    steps = pc.niter if niter is None else niter
+    total_keys = 2.0 ** pc.dims[0]
+    local_keys = total_keys / ctx.size
+    #: Each rank redistributes its keys across all ranks.
+    block_bytes = max(KEY, local_keys * KEY / ctx.size)
+    bucket_info_bytes = ctx.size * KEY
+
+    checksum = 0.0
+    for step in range(steps):
+        # Local bucket counting.
+        yield from ctx.compute(cpu.time_for(local_keys * FLOPS_PER_KEY))
+        # Bucket-size exchange (small) then key redistribution (large).
+        yield from ctx.comm.alltoall(bucket_info_bytes)
+        yield from ctx.comm.alltoallv([block_bytes] * ctx.size)
+        # Local ranking of received keys.
+        yield from ctx.compute(cpu.time_for(local_keys * FLOPS_PER_KEY / 2))
+        # Partial verification.
+        checksum = yield from ctx.comm.allreduce(float(ctx.rank + step), KEY * 2)
+    expected = sum(range(ctx.size)) + ctx.size * (steps - 1)
+    assert checksum == expected, "IS verification mismatch"
+    return checksum

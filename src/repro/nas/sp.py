@@ -1,0 +1,167 @@
+"""NAS SP: scalar-pentadiagonal ADI solver -- the paper's tuning subject.
+
+Communication structure per NPB 3.2 ``sp/``: a square process grid; each
+time step does ``copy_faces`` (large exchanges, no interleaved
+computation) and three solve routines (``x_solve``, ``y_solve``,
+``z_solve``).  Each solve pipelines forward and backward substitution
+along the process line, and the benchmark "explicitly attempts overlap of
+computation and communication ... at two places in the code, by computing
+in between the posting of an Irecv and waiting for the communication to
+complete" (Sec. 4.3).
+
+Under a polling rendezvous library the attempt fails: the sender's RTS
+arrives while the receiver is computing, is only drained inside
+``MPI_Wait``, and the transfer resolves as bounding case 1.  The paper's
+fix -- and the ``modified=True`` variant here -- inserts ``MPI_Iprobe``
+calls into the computation region, running the progress engine early so
+the data transfer proceeds during the remaining computation.
+
+The solve routines run inside monitoring section ``"solve_overlap"`` so
+the framework can report the overlapping section separately from the
+whole code, as the paper does in Figs. 14-17.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.nas.base import WORD, CpuModel, square_grid_side
+from repro.nas.classes import problem
+from repro.runtime.world import RankContext
+
+_TAG_FACE = 400
+_TAG_FWD = 410
+_TAG_BWD = 420
+
+#: Calibrated flop counts (NPB SP ~ 2500 flops/pt/iter).
+RHS_FLOPS_PER_POINT = 800.0
+#: Per direction, split across the pipeline stages and the two substitution
+#: phases.
+SOLVE_FLOPS_PER_POINT = 550.0
+
+#: Section name used for the Figs. 14/15 "overlapping section" measurement.
+OVERLAP_SECTION = "solve_overlap"
+
+
+def sp_message_bytes(grid: int, side: int) -> float:
+    """Boundary data per pipeline stage: 22 doubles per face point (the
+    NPB SP lhs/rhs boundary payload)."""
+    cells = max(1, grid // side)
+    return 22.0 * cells * cells * WORD
+
+
+def sp_app(
+    ctx: RankContext,
+    klass: str = "A",
+    niter: int | None = None,
+    cpu: CpuModel | None = None,
+    modified: bool = False,
+    iprobe_calls: int = 4,
+) -> typing.Generator:
+    """Run SP on one rank; returns the verification scalar.
+
+    ``modified=True`` enables the paper's Sec.-4.3 Iprobe tuning with
+    ``iprobe_calls`` probes spread through each overlap computation region.
+    """
+    pc = problem("sp", klass)
+    cpu = cpu or CpuModel()
+    grid = pc.dims[0]
+    steps = pc.niter if niter is None else niter
+    side = square_grid_side(ctx.size)
+    rank = ctx.rank
+    row, col = divmod(rank, side)
+
+    local_points = pc.grid_points / ctx.size
+    cells = max(1, grid // side)
+    # 5 solution variables, 2-deep ghost layers on each face.
+    face_bytes = 5 * 2 * cells * grid * WORD
+    stage_bytes = sp_message_bytes(grid, side)
+    # Per direction: 2 phases x `side` stages x 2 compute blocks per stage.
+    stage_flops = local_points * SOLVE_FLOPS_PER_POINT / (4 * side)
+
+    def at(r: int, c: int) -> int:
+        return (r % side) * side + (c % side)
+
+    neighbours = [at(row, col - 1), at(row, col + 1), at(row - 1, col), at(row + 1, col)]
+
+    def copy_faces() -> typing.Generator:
+        """Large exchanges "with no computation to overlap" (Sec. 4.3)."""
+        if side == 1:
+            return
+        reqs = []
+        for nb in neighbours:
+            reqs.append((yield from ctx.comm.irecv(nb, _TAG_FACE)))
+        for nb in neighbours:
+            reqs.append((yield from ctx.comm.isend(nb, _TAG_FACE, face_bytes)))
+        yield from ctx.comm.waitall(reqs)
+
+    def overlap_compute(pred: int | None, tag: int) -> typing.Generator:
+        """The computation placed between Irecv and Wait.
+
+        In the modified variant, Iprobe calls are sprinkled through it so
+        the polling progress engine can start the pending rendezvous.
+        """
+        if modified and pred is not None and iprobe_calls > 0:
+            chunk = cpu.time_for(stage_flops) / (iprobe_calls + 1)
+            for _ in range(iprobe_calls):
+                yield from ctx.compute(chunk)
+                yield from ctx.comm.iprobe(pred, tag)
+            yield from ctx.compute(chunk)
+        else:
+            yield from ctx.compute(cpu.time_for(stage_flops))
+
+    def substitution(direction: int, backward: bool) -> typing.Generator:
+        """One multipartition substitution phase (an overlap-attempt site).
+
+        Every rank works on one of its cells per stage; the boundary sent
+        at the end of stage ``s`` is consumed by the successor early in
+        stage ``s + 1`` -- so the message is in flight during the
+        receiver's factorization compute, which is exactly the window the
+        Irecv-compute-Wait idiom tries (and, under polling progress,
+        fails) to exploit.
+        """
+        if direction == 0:
+            before, after = at(row, col - 1), at(row, col + 1)
+        else:
+            before, after = at(row - 1, col), at(row + 1, col)
+        if backward:
+            pred, succ = after, before
+            tag = _TAG_BWD + direction
+        else:
+            pred, succ = before, after
+            tag = _TAG_FWD + direction
+        send_req = None
+        for stage in range(side):
+            req = None
+            if stage > 0 and side > 1:
+                req = yield from ctx.comm.irecv(pred, tag)
+            # The explicit overlap attempt: compute while the message moves.
+            yield from overlap_compute(pred if req is not None else None, tag)
+            if req is not None:
+                yield from ctx.comm.wait(req)
+            if send_req is not None:
+                # Reclaim the previous stage's send buffer (NPB keeps the
+                # isend request and waits before reuse).
+                yield from ctx.comm.wait(send_req)
+                send_req = None
+            # Solve this stage's cell with the received boundary.
+            yield from ctx.compute(cpu.time_for(stage_flops))
+            if stage < side - 1 and side > 1:
+                send_req = yield from ctx.comm.isend(succ, tag, stage_bytes)
+        if send_req is not None:
+            yield from ctx.comm.wait(send_req)
+
+    def solve(direction: int) -> typing.Generator:
+        with ctx.section(OVERLAP_SECTION):
+            yield from substitution(direction, backward=False)
+            yield from substitution(direction, backward=True)
+
+    check = 0.0
+    for _step in range(steps):
+        yield from copy_faces()
+        yield from ctx.compute(cpu.time_for(local_points * RHS_FLOPS_PER_POINT))
+        for direction in range(3):
+            yield from solve(direction)
+    check = yield from ctx.comm.allreduce(float(rank + 1), WORD)
+    assert check == ctx.size * (ctx.size + 1) / 2.0, "SP verification mismatch"
+    return check

@@ -1,0 +1,74 @@
+"""The switched fabric: a full-bisection crossbar of NICs.
+
+The paper's testbed is a switched InfiniBand network; with one process per
+node, contention exists only at NIC ports (modeled in
+:class:`~repro.netsim.nic.Nic`), never inside the switch.  The fabric is
+therefore just the collection of NICs plus addressing, with optional
+multi-rail (``nics_per_node > 1``) for the fragment-striping experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.nic import Nic
+from repro.netsim.params import NetworkParams
+from repro.sim import Engine
+
+
+class Fabric:
+    """All NICs of a simulated cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        params: NetworkParams,
+        num_nodes: int,
+        nics_per_node: int = 1,
+        seed: int = 0,
+        record_transfers: bool = False,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        if nics_per_node < 1:
+            raise ValueError("need at least one NIC per node")
+        self.engine = engine
+        self.params = params
+        self.num_nodes = num_nodes
+        self.nics_per_node = nics_per_node
+        #: Ground-truth physical transfer intervals (only populated when
+        #: ``record_transfers`` -- used for bound validation).
+        self.transfer_log: "list | None" = [] if record_transfers else None
+        # One seeded generator for the whole fabric: jittered runs replay
+        # identically for a fixed seed.
+        rng = (
+            np.random.default_rng(seed)
+            if params.latency_jitter_frac > 0.0
+            else None
+        )
+        self._nics = [
+            [
+                Nic(engine, params, node, port, rng=rng,
+                    transfer_log=self.transfer_log)
+                for port in range(nics_per_node)
+            ]
+            for node in range(num_nodes)
+        ]
+
+    def nic(self, node: int, port: int = 0) -> Nic:
+        """The NIC at ``(node, port)``."""
+        return self._nics[node][port]
+
+    def nics_of(self, node: int) -> list[Nic]:
+        """All rails of one node."""
+        return list(self._nics[node])
+
+    def total_bytes_on_wire(self) -> float:
+        """Σ bytes sent by every NIC (diagnostics)."""
+        return sum(nic.bytes_sent for rails in self._nics for nic in rails)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Fabric {self.num_nodes} nodes x {self.nics_per_node} NICs, "
+            f"{self.params.bandwidth / 1e6:.0f} MB/s>"
+        )

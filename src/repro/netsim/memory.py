@@ -1,0 +1,110 @@
+"""Registered-memory model: pinning costs and the MRU registration cache.
+
+Zero-copy transfers on registered-memory networks require the user buffer
+to be pinned.  Pinning is expensive; Open MPI's ``mpi_leave_pinned``
+"supports caching of registrations in a most recently used list" (paper
+Sec. 3.5), so repeated transfers from the same buffer skip the cost.  The
+cache here is keyed by an abstract buffer identity (the simulated
+application names its buffers), bounded by entry count and total pinned
+bytes, and evicts least-recently-used registrations.
+"""
+
+from __future__ import annotations
+
+import collections
+
+from repro.netsim.params import NetworkParams
+
+
+class RegistrationCache:
+    """MRU cache of pinned memory regions.
+
+    Parameters
+    ----------
+    params:
+        Supplies the pin cost model.
+    max_entries:
+        Maximum cached registrations (0 disables caching: every
+        registration pays full cost, as when ``leave_pinned`` is off).
+    max_bytes:
+        Maximum total pinned bytes held by the cache.
+    """
+
+    def __init__(
+        self,
+        params: NetworkParams,
+        max_entries: int = 64,
+        max_bytes: float = 1 << 30,
+    ) -> None:
+        if max_entries < 0 or max_bytes < 0:
+            raise ValueError("cache limits must be non-negative")
+        self.params = params
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "collections.OrderedDict[object, float]" = (
+            collections.OrderedDict()
+        )
+        self._pinned_bytes = 0.0
+        #: Diagnostics.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def pinned_bytes(self) -> float:
+        """Total bytes currently held pinned by the cache."""
+        return self._pinned_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def register(self, key: object, nbytes: float) -> float:
+        """Pin region ``key`` of ``nbytes``; returns the CPU cost in seconds.
+
+        A cache hit (same key, size within the cached registration) costs
+        nothing and refreshes recency.  A miss pays the pin cost and enters
+        the cache, evicting LRU entries to respect the limits.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot register a negative-sized region")
+        cached = self._entries.get(key)
+        if cached is not None and cached >= nbytes:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return 0.0
+        self.misses += 1
+        cost = self.params.pin_time(nbytes)
+        if self.max_entries == 0:
+            return cost  # caching disabled: pay every time
+        if cached is not None:
+            # Re-registering larger: drop the old entry first.
+            self._pinned_bytes -= cached
+            del self._entries[key]
+        self._entries[key] = nbytes
+        self._pinned_bytes += nbytes
+        self._evict_to_limits(protect=key)
+        return cost
+
+    def invalidate(self, key: object) -> bool:
+        """Explicitly unpin one region (e.g. on free). Returns True if found."""
+        size = self._entries.pop(key, None)
+        if size is None:
+            return False
+        self._pinned_bytes -= size
+        return True
+
+    def clear(self) -> None:
+        """Unpin everything."""
+        self._entries.clear()
+        self._pinned_bytes = 0.0
+
+    def _evict_to_limits(self, protect: object) -> None:
+        while len(self._entries) > self.max_entries or (
+            self._pinned_bytes > self.max_bytes and len(self._entries) > 1
+        ):
+            key, size = next(iter(self._entries.items()))
+            if key == protect and len(self._entries) == 1:
+                break
+            del self._entries[key]
+            self._pinned_bytes -= size
+            self.evictions += 1

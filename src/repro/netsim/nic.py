@@ -1,0 +1,290 @@
+"""NIC model: DMA engines, wire serialization, completion queues.
+
+The defining property reproduced here is **OS-bypass autonomy**: once the
+host posts a work request, the NIC moves the data on its own.  Host CPUs
+learn of progress only by polling the completion queue or the inbound
+packet queue -- there are no interrupts, matching the polling-mode
+operation of the libraries the paper instruments.
+
+Timing model (cut-through with port contention):
+
+* a message of ``n`` bytes occupies the sender's TX port for
+  ``n / bandwidth`` seconds, FIFO per port;
+* the first byte reaches the receiver after ``latency``;
+* the receiver's RX port is also a FIFO resource, so incast traffic
+  serializes at the destination;
+* RDMA Read adds a request latency before the *target's* TX port streams
+  the data back, with no target-CPU involvement.
+"""
+
+from __future__ import annotations
+
+import collections
+import enum
+import typing
+
+from repro.netsim.params import NetworkParams
+from repro.sim import Engine, Event
+
+
+class CompletionKind(enum.Enum):
+    """What a completion-queue entry signifies."""
+
+    SEND_DONE = "send_done"
+    RDMA_WRITE_DONE = "rdma_write_done"
+    RDMA_READ_DONE = "rdma_read_done"
+
+
+class CompletionEntry(typing.NamedTuple):
+    """One CQ entry, polled by the owning process."""
+
+    kind: CompletionKind
+    context: object
+    nbytes: float
+
+
+class InboundPacket(typing.NamedTuple):
+    """A message that arrived at this NIC's RX port."""
+
+    src_node: int
+    payload: object
+    nbytes: float
+
+
+class TransferRecord(typing.NamedTuple):
+    """Ground-truth physical transfer interval (simulator-side knowledge).
+
+    The real system cannot observe these ("the precise times for
+    NIC-initiated data transfer events is unknown to the host processor");
+    the simulator records them so the derived bounds can be validated
+    against the truth (see ``repro.experiments.validation``).
+    """
+
+    src: int
+    dst: int
+    nbytes: float
+    start: float
+    end: float
+    kind: str  # "send" | "rdma_write" | "rdma_read"
+
+
+class Nic:
+    """One network port of one node."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        params: NetworkParams,
+        node: int,
+        port: int = 0,
+        rng: object = None,
+        transfer_log: "list[TransferRecord] | None" = None,
+    ) -> None:
+        self.engine = engine
+        self.params = params
+        self.node = node
+        self.port = port
+        #: Shared seeded RNG (from the fabric) for latency jitter; None
+        #: means a perfectly regular wire.
+        self._rng = rng
+        #: Fabric-wide ground-truth transfer log (None = not recording).
+        self._transfer_log = transfer_log
+        #: FIFO availability of the TX wire.
+        self.tx_busy_until = 0.0
+        #: FIFO availability of the RX wire (incast serialization).
+        self.rx_busy_until = 0.0
+        #: Packets that have fully arrived, awaiting a host poll.
+        self.inbound: "collections.deque[InboundPacket]" = collections.deque()
+        #: Completion queue, awaiting a host poll.
+        self.cq: "collections.deque[CompletionEntry]" = collections.deque()
+        self._waiters: list[Event] = []
+        # Traffic counters (diagnostics / tests).
+        self.bytes_sent = 0.0
+        self.bytes_received = 0.0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # -- host-side waiting -------------------------------------------------
+    def wait_activity(self) -> Event:
+        """Event that fires at the next CQ entry or packet arrival.
+
+        A blocked polling loop sleeps on this instead of busy-spinning the
+        simulation clock.  If something is already pending the event fires
+        immediately.
+        """
+        ev = Event(self.engine)
+        if self.inbound or self.cq:
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def _kick(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def _at(self, when: float, fn: typing.Callable[[], None]) -> None:
+        """Run ``fn`` at absolute simulation time ``when``."""
+        delay = when - self.engine.now
+        t = self.engine.timeout(max(0.0, delay))
+        t.callbacks.append(lambda _ev: fn())  # type: ignore[union-attr]
+
+    # -- timing helpers ------------------------------------------------------
+    def _latency(self) -> float:
+        """Per-message wire latency, optionally jittered (seeded RNG)."""
+        p = self.params
+        if p.latency_jitter_frac <= 0.0 or self._rng is None:
+            return p.latency
+        swing = p.latency_jitter_frac * (2.0 * self._rng.random() - 1.0)
+        return p.latency * (1.0 + swing)
+
+    def _tx_stream(self, nbytes: float) -> float:
+        """Occupy this NIC's TX port; returns the TX completion time.
+
+        Each message costs its serialization time plus the NIC's
+        per-message processing overhead (the message-rate limit).
+        """
+        start = max(self.engine.now, self.tx_busy_until)
+        end = start + self.params.per_message_overhead + self.params.wire_time(nbytes)
+        self.tx_busy_until = end
+        return end
+
+    @staticmethod
+    def _rx_stream(dst: "Nic", first_byte: float, nbytes: float) -> float:
+        """Occupy ``dst``'s RX port; returns the full-arrival time."""
+        start = max(first_byte, dst.rx_busy_until)
+        end = start + dst.params.wire_time(nbytes)
+        dst.rx_busy_until = end
+        return end
+
+    # -- verbs -------------------------------------------------------------
+    def post_send(
+        self,
+        dst: "Nic",
+        nbytes: float,
+        payload: object,
+        context: object = None,
+    ) -> None:
+        """Two-sided send: deliver ``payload`` to ``dst``'s inbound queue.
+
+        A ``SEND_DONE`` CQ entry appears locally once the DMA engine has
+        drained the host buffer (TX completion).
+        """
+        self._check_dst(dst)
+        tx_end = self._tx_stream(nbytes)
+        first_byte = tx_end - self.params.wire_time(nbytes) + self._latency()
+        arrival = self._rx_stream(dst, first_byte, nbytes)
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+
+        def local_complete() -> None:
+            self.cq.append(CompletionEntry(CompletionKind.SEND_DONE, context, nbytes))
+            self._kick()
+
+        def deliver() -> None:
+            dst.inbound.append(InboundPacket(self.node, payload, nbytes))
+            dst.bytes_received += nbytes
+            dst.messages_received += 1
+            dst._kick()
+
+        self._at(tx_end, local_complete)
+        self._at(arrival, deliver)
+        self._record(dst, nbytes, tx_end, arrival, "send")
+
+    def post_rdma_write(
+        self,
+        dst: "Nic",
+        nbytes: float,
+        context: object = None,
+        notify_payload: object = None,
+    ) -> None:
+        """One-sided write into ``dst``'s memory; no target CPU involvement.
+
+        The local ``RDMA_WRITE_DONE`` CQ entry appears when the data has
+        been placed remotely.  If ``notify_payload`` is given, a
+        zero-extra-cost notification packet (write-with-immediate) lands in
+        ``dst``'s inbound queue at arrival time.
+        """
+        self._check_dst(dst)
+        tx_end = self._tx_stream(nbytes)
+        first_byte = tx_end - self.params.wire_time(nbytes) + self._latency()
+        arrival = self._rx_stream(dst, first_byte, nbytes)
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+
+        def remote_placed() -> None:
+            dst.bytes_received += nbytes
+            dst.messages_received += 1
+            if notify_payload is not None:
+                dst.inbound.append(InboundPacket(self.node, notify_payload, nbytes))
+                dst._kick()
+
+        def local_complete() -> None:
+            self.cq.append(
+                CompletionEntry(CompletionKind.RDMA_WRITE_DONE, context, nbytes)
+            )
+            self._kick()
+
+        self._at(arrival, remote_placed)
+        # Reliable-connection semantics: local completion once remotely placed.
+        self._at(arrival, local_complete)
+        self._record(dst, nbytes, tx_end, arrival, "rdma_write")
+
+    def post_rdma_read(
+        self,
+        target: "Nic",
+        nbytes: float,
+        context: object = None,
+    ) -> None:
+        """One-sided read of ``target``'s memory; serviced by its NIC alone.
+
+        The request packet reaches the target after
+        ``rdma_read_request_latency``; the target's NIC then streams the
+        data back through its TX port (contending with its other sends, but
+        never touching its CPU).  A local ``RDMA_READ_DONE`` CQ entry
+        appears when all data has arrived.
+        """
+        self._check_dst(target)
+        request_arrival = self.engine.now + self.params.rdma_read_request_latency
+
+        def service_read() -> None:
+            tx_end = target._tx_stream(nbytes)
+            target.bytes_sent += nbytes
+            target.messages_sent += 1
+            first_byte = tx_end - target.params.wire_time(nbytes) + target._latency()
+            arrival = Nic._rx_stream(self, first_byte, nbytes)
+
+            def data_arrived() -> None:
+                self.bytes_received += nbytes
+                self.messages_received += 1
+                self.cq.append(
+                    CompletionEntry(CompletionKind.RDMA_READ_DONE, context, nbytes)
+                )
+                self._kick()
+
+            target._at(arrival, data_arrived)
+            # The read moves data target -> initiator.
+            target._record(self, nbytes, tx_end, arrival, "rdma_read")
+
+        self._at(request_arrival, service_read)
+
+    def _record(
+        self, dst: "Nic", nbytes: float, tx_end: float, arrival: float, kind: str
+    ) -> None:
+        """Log a ground-truth transfer interval (if the fabric records)."""
+        if self._transfer_log is None:
+            return
+        start = tx_end - self.params.wire_time(nbytes) - self.params.per_message_overhead
+        self._transfer_log.append(
+            TransferRecord(self.node, dst.node, nbytes, start, arrival, kind)
+        )
+
+    def _check_dst(self, dst: "Nic") -> None:
+        if dst is self:
+            raise ValueError(f"node {self.node} cannot target its own NIC")
+        if dst.engine is not self.engine:
+            raise ValueError("cannot communicate across engines")
+
+    def __repr__(self) -> str:
+        return f"<Nic node={self.node} port={self.port}>"

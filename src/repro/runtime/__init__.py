@@ -1,0 +1,6 @@
+"""Rank launcher: runs N simulated processes and collects their reports."""
+
+from repro.runtime.launcher import RunResult, run_app
+from repro.runtime.world import RankContext
+
+__all__ = ["RankContext", "RunResult", "run_app"]

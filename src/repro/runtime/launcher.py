@@ -1,0 +1,161 @@
+"""Launch N simulated ranks and harvest their overlap reports.
+
+``run_app`` is the simulated ``mpiexec``: it builds one engine, one
+fabric, one endpoint+monitor per rank, drives every rank's generator to
+completion, and finalizes the monitors into per-process
+:class:`~repro.core.report.OverlapReport` objects -- the paper's
+"output file ... generated for each process".
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.monitor import Monitor, NullMonitor
+from repro.core.report import OverlapReport
+from repro.core.xfer_table import XferTable
+from repro.mpisim.config import MpiConfig
+from repro.mpisim.endpoint import Endpoint
+from repro.netsim.fabric import Fabric
+from repro.netsim.params import NetworkParams
+from repro.runtime.world import RankContext
+from repro.sim import Engine
+
+AppFn = typing.Callable[..., typing.Generator]
+
+
+class RunResult:
+    """Outcome of one simulated job."""
+
+    def __init__(
+        self,
+        reports: list[OverlapReport | None],
+        returns: list[object],
+        rank_finish_times: list[float],
+        elapsed: float,
+        config: MpiConfig,
+        fabric: Fabric,
+    ) -> None:
+        #: Per-rank overlap reports (None when uninstrumented).
+        self.reports = reports
+        #: Per-rank application return values.
+        self.returns = returns
+        #: Simulation time at which each rank's code finished.
+        self.rank_finish_times = rank_finish_times
+        #: Job wall time: when the slowest rank finished.
+        self.elapsed = elapsed
+        self.config = config
+        self.fabric = fabric
+        #: Per-rank ground-truth computation intervals, filled by run_app.
+        self.compute_logs: list[list[tuple[float, float]]] = []
+
+    def report(self, rank: int = 0) -> OverlapReport:
+        """The report of one rank (the paper presents "data for process 0")."""
+        rep = self.reports[rank]
+        if rep is None:
+            raise ValueError("run was not instrumented")
+        return rep
+
+
+def default_xfer_table(params: NetworkParams) -> XferTable:
+    """Analytic stand-in for the ``perf_main``-measured table.
+
+    ``time(n) = (latency + per-message overhead) + n / bandwidth`` --
+    exactly the raw network cost of one message in the simulator, which is
+    what the real ``perf_main`` utility measures on the real fabric.
+    Experiments that want the full measured pipeline use
+    :func:`repro.experiments.micro.build_xfer_table`.
+    """
+    sizes = [float(2**k) for k in range(0, 24)]
+    return XferTable.from_model(
+        params.latency + params.per_message_overhead, params.bandwidth, sizes
+    )
+
+
+def run_app(
+    app: AppFn,
+    nprocs: int,
+    config: MpiConfig | None = None,
+    params: NetworkParams | None = None,
+    xfer_table: XferTable | None = None,
+    label: str = "",
+    app_args: tuple = (),
+    seed: int = 0,
+    record_transfers: bool = False,
+) -> RunResult:
+    """Run ``app(ctx, *app_args)`` on ``nprocs`` simulated ranks.
+
+    ``seed`` feeds the fabric RNG (only relevant with latency jitter).
+    Raises whatever any rank's generator raises; a hang (every rank
+    blocked with no scheduled events) surfaces as a deadlock error from
+    the engine.
+    """
+    if nprocs < 1:
+        raise ValueError("need at least one rank")
+    config = config or MpiConfig()
+    params = params or NetworkParams()
+    table = xfer_table or default_xfer_table(params)
+
+    engine = Engine()
+    fabric = Fabric(
+        engine, params, nprocs, config.nics_per_node, seed=seed,
+        record_transfers=record_transfers,
+    )
+    monitors: list[Monitor | NullMonitor] = []
+    contexts: list[RankContext] = []
+    for rank in range(nprocs):
+        monitor: Monitor | NullMonitor
+        if config.instrument:
+            monitor = Monitor(
+                clock=lambda: engine.now,
+                xfer_table=table,
+                queue_capacity=config.queue_capacity,
+                bin_edges=config.bin_edges,
+            )
+            # Anchor interval attribution at startup, as the real framework
+            # does inside MPI_Init (this is also where the transfer-time
+            # table would be read from disk).
+            monitor.call_enter("MPI_Init")
+            monitor.call_exit("MPI_Init")
+        else:
+            monitor = NullMonitor()
+        endpoint = Endpoint(engine, fabric, rank, nprocs, config, monitor)
+        monitors.append(monitor)
+        contexts.append(RankContext(engine, endpoint, monitor))
+
+    finish_times = [0.0] * nprocs
+    returns: list[object] = [None] * nprocs
+
+    def rank_main(rank: int) -> typing.Generator:
+        result = yield from app(contexts[rank], *app_args)
+        yield from contexts[rank].comm.finalize()
+        finish_times[rank] = engine.now
+        returns[rank] = result
+        return result
+
+    procs = [engine.process(rank_main(rank)) for rank in range(nprocs)]
+    engine.run()
+    stuck = [p.name for p in procs if p.is_alive]
+    if stuck:
+        raise RuntimeError(
+            f"deadlock: {len(stuck)} rank(s) never finished "
+            "(blocked on communication that cannot arrive)"
+        )
+
+    reports: list[OverlapReport | None] = []
+    for rank, monitor in enumerate(monitors):
+        if isinstance(monitor, Monitor):
+            reports.append(monitor.finalize(rank=rank, label=label))
+        else:
+            reports.append(None)
+    result = RunResult(
+        reports=reports,
+        returns=returns,
+        rank_finish_times=finish_times,
+        elapsed=max(finish_times),
+        config=config,
+        fabric=fabric,
+    )
+    #: Per-rank ground-truth computation intervals (bound validation).
+    result.compute_logs = [ctx.compute_log for ctx in contexts]
+    return result

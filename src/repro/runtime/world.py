@@ -1,0 +1,61 @@
+"""Per-rank application context.
+
+A simulated application is a generator function ``app(ctx)`` receiving a
+:class:`RankContext`; it communicates through ``ctx.comm`` and spends CPU
+through ``ctx.compute``.  Time spent in ``compute`` falls outside library
+calls, so the instrumentation attributes it to user computation.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.monitor import Monitor, NullMonitor
+from repro.mpisim.communicator import Comm
+from repro.mpisim.endpoint import Endpoint
+from repro.sim import Engine
+
+
+class RankContext:
+    """Everything one simulated MPI process sees."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        endpoint: Endpoint,
+        monitor: "Monitor | NullMonitor",
+    ) -> None:
+        self.engine = engine
+        self.endpoint = endpoint
+        #: The instrumented communicator.
+        self.comm = Comm(endpoint)
+        #: The per-process monitor (section control lives here).
+        self.monitor = monitor
+        #: Ground-truth computation intervals (for bound validation).
+        self.compute_log: list[tuple[float, float]] = []
+
+    @property
+    def rank(self) -> int:
+        return self.endpoint.rank
+
+    @property
+    def size(self) -> int:
+        return self.endpoint.size
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self.engine.now
+
+    def compute(self, seconds: float) -> typing.Generator:
+        """Spend ``seconds`` of user computation (outside the library)."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time {seconds!r}")
+        if seconds > 0:
+            start = self.engine.now
+            yield self.engine.timeout(seconds)
+            self.compute_log.append((start, self.engine.now))
+
+    def section(self, name: str):
+        """Context manager marking a monitored code region (Sec. 2.3)."""
+        return self.monitor.section(name)

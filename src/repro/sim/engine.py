@@ -1,0 +1,112 @@
+"""The simulation engine: clock + event heap + run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import Event, SimulationError, Timeout
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+
+class Engine:
+    """Deterministic discrete-event engine.
+
+    Events posted at equal times are processed in posting order (FIFO tie
+    break via a monotonically increasing sequence number), which makes every
+    simulation a pure function of its inputs.
+    """
+
+    def __init__(self) -> None:
+        #: Current simulation time in seconds.
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq: int = 0
+        #: Number of events processed so far (useful for tests/diagnostics).
+        self.processed_count: int = 0
+
+    # -- scheduling -------------------------------------------------------
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        """Schedule a triggered event for processing ``delay`` from now."""
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def process(self, generator: typing.Generator) -> "Process":
+        """Spawn a :class:`Process` driving ``generator``."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- run loop ---------------------------------------------------------
+    @property
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process one event; raises :class:`EmptySchedule` when idle."""
+        if not self._heap:
+            raise EmptySchedule("no more events scheduled")
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(event)
+        self.processed_count += 1
+        if not event._ok and not event._defused:
+            raise typing.cast(BaseException, event._value)
+
+    def run(self, until: "float | Event | None" = None) -> object:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        ``until`` may be ``None`` (drain), a number (absolute simulation
+        time), or an :class:`Event` (run until it is processed; returns its
+        value).
+        """
+        stop_event: Event | None = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self.now:
+                raise SimulationError(
+                    f"until={deadline!r} is in the past (now={self.now!r})"
+                )
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek > deadline:
+                self.now = deadline
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "run() ran out of events before the awaited event fired "
+                    "(deadlock in the simulated program?)"
+                )
+            if not stop_event.ok:
+                raise typing.cast(BaseException, stop_event.value)
+            return stop_event.value
+        if deadline != float("inf"):
+            self.now = deadline
+        return None
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Engine.step` when nothing is scheduled."""

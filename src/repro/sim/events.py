@@ -1,0 +1,188 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence.  It starts *untriggered*; calling
+:meth:`Event.succeed` or :meth:`Event.fail` schedules it for processing at the
+current simulation time, at which point the engine invokes its callbacks (in
+registration order).  Processes suspend on events by ``yield``-ing them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (double-trigger, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`repro.sim.process.Process.interrupt`."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that callbacks and processes can wait on.
+
+    Parameters
+    ----------
+    engine:
+        The owning :class:`~repro.sim.engine.Engine`.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        #: Callables ``cb(event)`` invoked when the event is processed.
+        #: ``None`` once processed (late callbacks are a bug we surface).
+        self.callbacks: list[typing.Callable[["Event"], None]] | None = []
+        self._value: object = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful when triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value; raises if the event is still pending."""
+        if self._value is _PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.engine._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception that waiters will receive."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.engine._post(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another event's outcome onto this one (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(typing.cast(BaseException, event._value))
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if self._value is _PENDING
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(engine)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        engine._post(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf: fires once ``_check`` is satisfied."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, engine: "Engine", events: typing.Iterable[Event]) -> None:
+        super().__init__(engine)
+        self.events = tuple(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.engine is not engine:
+                raise SimulationError("condition mixes events from different engines")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            # Note: a Timeout is "triggered" (has a value) from creation, so
+            # readiness here is keyed on *processed*; pending events get a
+            # callback that fires when the engine processes them.
+            if ev.processed:
+                self._observe(ev)
+            else:
+                ev.callbacks.append(self._observe)  # type: ignore[union-attr]
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(typing.cast(BaseException, event._value))
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, object]:
+        # Keyed on *processed*: Timeouts carry a value from creation, but only
+        # events the engine has fired belong in the condition's result.
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event succeeds (or one fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(_Condition):
+    """Fires once every constituent event has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self.events)

@@ -1,0 +1,125 @@
+"""Generator-coroutine processes.
+
+A :class:`Process` wraps a generator.  The generator ``yield``-s
+:class:`~repro.sim.events.Event` instances; the process suspends until the
+event fires, then resumes with the event's value (or with the event's
+exception raised at the yield point).  A process is itself an event that
+succeeds with the generator's return value, so processes can wait on each
+other and be combined with ``AnyOf`` / ``AllOf``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event, Interrupt, SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Process(Event):
+    """A running simulated activity driven by a generator."""
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: typing.Generator,
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process needs a generator, got {generator!r}; did you call "
+                "the function instead of passing its generator?"
+            )
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently suspended on (None if running
+        #: or finished).
+        self._target: Event | None = None
+        # Kick off at the current time.
+        init = Event(engine)
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        init._ok = True
+        init._value = None
+        engine._post(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the generator has finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already finished")
+        if self._target is None:
+            raise SimulationError(f"{self!r} is not suspended on an event")
+        # Detach from the current target and schedule the interrupt.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        carrier = Event(self.engine)
+        carrier.callbacks.append(self._resume)  # type: ignore[union-attr]
+        carrier._ok = False
+        carrier._value = Interrupt(cause)
+        carrier._defused = True
+        self.engine._post(carrier)
+
+    # -- driving ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_ev = self.generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_ev = self.generator.throw(
+                        typing.cast(BaseException, event._value)
+                    )
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(next_ev, Event):
+                exc2 = SimulationError(
+                    f"process {self.name!r} yielded {next_ev!r}, which is not "
+                    "an Event (use engine.timeout(...) for delays)"
+                )
+                try:
+                    self.generator.throw(exc2)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self.fail(exc)
+                    return
+                continue
+            if next_ev.engine is not self.engine:
+                self.fail(
+                    SimulationError(
+                        f"process {self.name!r} yielded an event from a "
+                        "different engine"
+                    )
+                )
+                return
+
+            if next_ev.processed:
+                # Already settled: continue immediately with its outcome.
+                event = next_ev
+                continue
+            self._target = next_ev
+            next_ev.callbacks.append(self._resume)  # type: ignore[union-attr]
+            return
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "done"
+        return f"<Process {self.name} {state} at {id(self):#x}>"

@@ -1,0 +1,15 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.perfmain`` -- measure and write the a-priori
+  transfer-time table (the paper's ``perf_main`` step);
+* ``python -m repro.tools.micro`` -- the Sec.-3 overlap microbenchmark
+  sweep, with optional ASCII plots;
+* ``python -m repro.tools.nas`` -- run one NAS benchmark cell and write
+  per-process overlap reports;
+* ``python -m repro.tools.report`` -- render saved overlap reports
+  (summary, size breakdown, sections, before/after diff);
+* ``python -m repro.tools.validate`` -- check derived bounds against the
+  simulator's ground-truth overlap;
+* ``python -m repro.tools.paper`` -- regenerate the paper's whole
+  evaluation into one consolidated document.
+"""

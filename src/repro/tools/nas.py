@@ -1,0 +1,103 @@
+"""CLI: run one NAS benchmark cell and write per-process overlap reports.
+
+Example::
+
+    python -m repro.tools.nas --benchmark lu --klass A --np 4 --niter 2 \\
+        --report-dir out/
+    python -m repro.tools.nas --benchmark sp --klass A --np 9 --modified
+    python -m repro.tools.nas --benchmark mg --klass B --np 8 --nonblocking
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import typing
+
+from repro.analysis.tables import render_size_breakdown
+from repro.armci import ArmciConfig, run_armci_app
+from repro.experiments.nas_char import MPI_BENCHMARKS
+from repro.mpisim.config import mvapich2_like, openmpi_like
+from repro.nas.mg import mg_app
+from repro.nas.sp import sp_app
+from repro.runtime.launcher import run_app
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.nas",
+        description="Run a NAS benchmark on the simulated cluster with the "
+        "overlap instrumentation enabled.",
+    )
+    parser.add_argument("--benchmark", required=True,
+                        choices=sorted(MPI_BENCHMARKS) + ["mg"])
+    parser.add_argument("--klass", default="A", choices=["S", "W", "A", "B"],
+                        help="NPB problem class")
+    parser.add_argument("--np", dest="nprocs", type=int, default=4,
+                        help="number of simulated ranks")
+    parser.add_argument("--niter", type=int, default=2,
+                        help="iterations (scaled down from the NPB defaults)")
+    parser.add_argument("--library", choices=["paper", "openmpi", "mvapich2"],
+                        default="paper",
+                        help="'paper' uses the pairing from the paper's Sec. 4")
+    parser.add_argument("--modified", action="store_true",
+                        help="SP only: apply the Iprobe overlap fix")
+    parser.add_argument("--nonblocking", action="store_true",
+                        help="MG only: use non-blocking ARMCI calls")
+    parser.add_argument("--report-dir", default=None,
+                        help="write per-process JSON reports here")
+    parser.add_argument("--sizes", action="store_true",
+                        help="also print the message-size breakdown")
+    parser.add_argument("--rank", type=int, default=0,
+                        help="which rank's report to print")
+    return parser
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    label = f"{args.benchmark}.{args.klass}.{args.nprocs}"
+
+    if args.benchmark == "mg":
+        result = run_armci_app(
+            mg_app, args.nprocs, config=ArmciConfig(), label=label,
+            app_args=(args.klass, args.niter, None, not args.nonblocking),
+        )
+    else:
+        app, config_factory = MPI_BENCHMARKS[args.benchmark]
+        if args.library == "openmpi":
+            config = openmpi_like()
+        elif args.library == "mvapich2":
+            config = mvapich2_like()
+        else:
+            config = config_factory()
+        if args.benchmark == "sp":
+            app_args: tuple = (args.klass, args.niter, None, args.modified)
+            app = sp_app
+        elif args.benchmark == "lu":
+            app_args = (args.klass, args.niter, None, None)
+        elif args.benchmark == "ep":
+            app_args = (args.klass, None, 1e-3)
+        else:
+            app_args = (args.klass, args.niter, None)
+        result = run_app(app, args.nprocs, config=config, label=label,
+                         app_args=app_args)
+
+    report = result.report(args.rank)
+    print(report.render_text())
+    if args.sizes:
+        print()
+        print(render_size_breakdown(report, "by message size:"))
+    print(f"\njob wall time: {result.elapsed * 1e3:.3f} ms (simulated)")
+
+    if args.report_dir:
+        out = pathlib.Path(args.report_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for rank, rep in enumerate(result.reports):
+            if rep is not None:
+                rep.save(out / f"{label}.rank{rank}.json")
+        print(f"wrote {len(result.reports)} reports to {out}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""CLI: render saved overlap reports.
+
+Example::
+
+    python -m repro.tools.report out/lu.A.4.rank0.json --sizes
+    python -m repro.tools.report out/*.json --aggregate
+    python -m repro.tools.report --diff before.json after.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import typing
+
+from repro.analysis.tables import render_size_breakdown
+from repro.core.diff import diff_reports, render_diff
+from repro.core.measures import OverlapMeasures
+from repro.core.report import OverlapReport, aggregate_reports
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.report",
+        description="Render per-process overlap report files.",
+    )
+    parser.add_argument("files", nargs="*", help="report JSON files")
+    parser.add_argument("--sizes", action="store_true",
+                        help="include the message-size breakdown")
+    parser.add_argument("--aggregate", action="store_true",
+                        help="also print the merged job-wide measures")
+    parser.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"),
+                        help="compare two reports (tuning workflow)")
+    return parser
+
+
+def _render_aggregate(measures: OverlapMeasures) -> str:
+    return (
+        f"aggregate over all ranks:\n"
+        f"  data transfer time       {measures.data_transfer_time:.6f} s\n"
+        f"  overlap bounds           [{measures.min_overlap_pct:.1f}%, "
+        f"{measures.max_overlap_pct:.1f}%]\n"
+        f"  non-overlapped (min)     {measures.min_nonoverlapped_time:.6f} s\n"
+        f"  transfers                {measures.transfer_count}"
+    )
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    if args.diff:
+        before = OverlapReport.load(args.diff[0])
+        after = OverlapReport.load(args.diff[1])
+        print(render_diff(diff_reports(before, after),
+                          title=f"{args.diff[0]} -> {args.diff[1]}"))
+        return 0
+    if not args.files:
+        make_parser().print_usage()
+        return 2
+    reports = [OverlapReport.load(path) for path in args.files]
+    for report in reports:
+        print(report.render_text())
+        if args.sizes:
+            print(render_size_breakdown(report))
+        print()
+    if args.aggregate and reports:
+        print(_render_aggregate(aggregate_reports(reports)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

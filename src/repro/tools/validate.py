@@ -1,0 +1,94 @@
+"""CLI: ground-truth validation of the overlap bounds.
+
+Runs a chosen workload with transfer recording enabled, computes the true
+overlapped transfer time per rank from the simulator's physical logs, and
+checks it against the framework's derived bounds.
+
+Example::
+
+    python -m repro.tools.validate --workload micro --size 1048576 \\
+        --compute 1.5e-3 --library openmpi --leave-pinned
+    python -m repro.tools.validate --workload sp --klass A --np 4 --modified
+"""
+
+from __future__ import annotations
+
+import argparse
+import typing
+
+from repro.experiments.validation import render_validation, validate_bounds
+from repro.mpisim.config import MpiConfig, mvapich2_like, openmpi_like
+from repro.nas.base import CpuModel
+from repro.nas.sp import sp_app
+from repro.runtime.launcher import run_app
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.validate",
+        description="Check derived overlap bounds against the simulator's "
+        "ground truth.",
+    )
+    parser.add_argument("--workload", choices=["micro", "sp"], default="micro")
+    parser.add_argument("--size", type=float, default=1024 * 1024,
+                        help="micro: message size in bytes")
+    parser.add_argument("--compute", type=float, default=1.5e-3,
+                        help="micro: inserted computation in seconds")
+    parser.add_argument("--iters", type=int, default=30)
+    parser.add_argument("--library", choices=["openmpi", "mvapich2", "rput"],
+                        default="openmpi")
+    parser.add_argument("--leave-pinned", action="store_true")
+    parser.add_argument("--klass", default="A", choices=["S", "W", "A", "B"],
+                        help="sp: problem class")
+    parser.add_argument("--np", dest="nprocs", type=int, default=4,
+                        help="sp: rank count")
+    parser.add_argument("--modified", action="store_true",
+                        help="sp: apply the Iprobe fix")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> MpiConfig:
+    if args.library == "openmpi":
+        return openmpi_like(leave_pinned=args.leave_pinned)
+    if args.library == "mvapich2":
+        return mvapich2_like()
+    return MpiConfig(name="rput", rndv_mode="rput")
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    if args.workload == "micro":
+        size, compute, iters = args.size, args.compute, args.iters
+
+        def app(ctx):
+            for _ in range(iters):
+                if ctx.rank == 0:
+                    req = yield from ctx.comm.isend(1, 0, size, bufkey="b")
+                    yield from ctx.compute(compute)
+                    yield from ctx.comm.wait(req)
+                else:
+                    yield from ctx.comm.recv(0, 0)
+
+        result = run_app(app, 2, config=_config(args), record_transfers=True)
+        title = (f"micro {int(size)}B / {compute * 1e3:g}ms compute / "
+                 f"{_config(args).name}")
+    else:
+        result = run_app(
+            sp_app, args.nprocs, config=mvapich2_like(), record_transfers=True,
+            app_args=(args.klass, 2, CpuModel(10e9), args.modified),
+        )
+        title = (f"SP class {args.klass}, {args.nprocs} ranks, "
+                 f"{'modified' if args.modified else 'original'}")
+
+    checks = validate_bounds(result)
+    print(render_validation(checks, title))
+    bad = [c for c in checks if not c.holds]
+    if bad:
+        print(f"\n{len(bad)} bound violation(s)!")
+        return 1
+    print("\nall bounds bracket the ground truth.")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

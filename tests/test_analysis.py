@@ -1,0 +1,104 @@
+"""Tests for the analysis/rendering layer."""
+
+import pytest
+
+from repro.analysis import (
+    ascii_plot,
+    micro_series_rows,
+    render_micro_series,
+    render_nas_char,
+    render_overhead,
+    render_size_breakdown,
+    render_sp_tuning,
+)
+from repro.experiments.micro import overlap_sweep
+from repro.experiments.nas_char import characterize
+from repro.experiments.overhead import OverheadPoint
+from repro.experiments.sp_tuning import sp_tuning
+from repro.mpisim.config import MpiConfig
+from repro.nas.base import CpuModel
+
+FAST = CpuModel(flop_rate=50e9)
+
+
+@pytest.fixture(scope="module")
+def micro_points():
+    return overlap_sweep("isend_irecv", 8192, [0.0, 20e-6], MpiConfig(), iters=5)
+
+
+def test_micro_series_rows_fields(micro_points):
+    rows = micro_series_rows(micro_points, "sender")
+    assert len(rows) == 2
+    assert rows[0]["compute_us"] == 0.0
+    assert rows[1]["compute_us"] == pytest.approx(20.0)
+    assert set(rows[0]) == {"compute_us", "min_overlap_pct", "max_overlap_pct", "wait_us"}
+
+
+def test_render_micro_series_formats(micro_points):
+    text = render_micro_series(micro_points, "receiver", title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "compute(us)" in lines[1]
+    assert len(lines) == 2 + len(micro_points)
+
+
+def test_render_nas_char_and_sizes():
+    point = characterize("cg", "S", 4, niter=1, cpu=FAST)
+    text = render_nas_char([point], title="cg table")
+    assert "cg table" in text
+    assert " S " in text or "S" in text.split()
+    sizes = render_size_breakdown(point.report, title="sizes")
+    assert "size range" in sizes
+    assert "KiB" in sizes or "B)" in sizes
+
+
+def test_render_sp_tuning_both_scopes():
+    result = sp_tuning("S", 4, niter=1, cpu=FAST)
+    for scope in ("section", "full"):
+        text = render_sp_tuning([result], scope=scope, title=scope)
+        assert scope in text
+        assert "gain %" in text
+
+
+def test_render_overhead():
+    p = OverheadPoint("cg", "A", 4, 1.01, 1.00, 1234)
+    text = render_overhead([p], title="ov")
+    assert "1.000" in text and "1234" in text
+    assert f"{p.overhead_pct:.3f}" in text
+
+
+def test_overhead_pct_zero_division_guard():
+    p = OverheadPoint("cg", "A", 4, 1.0, 0.0, 1)
+    assert p.overhead_pct == 0.0
+
+
+class TestAsciiPlot:
+    def test_basic_shape(self):
+        text = ascii_plot(
+            {"a": [0, 5, 10], "b": [10, 5, 0]},
+            x=[0, 1, 2],
+            width=20,
+            height=5,
+            title="demo",
+            y_label="y",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "* a" in lines[1] and "+ b" in lines[1]
+        assert any("*" in line for line in lines)
+        assert any("+" in line for line in lines)
+        assert text.count("|") == 5
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot({"flat": [3.0, 3.0]}, x=[0, 1])
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({}, x=[0, 1])
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1]}, x=[0, 1])
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1]}, x=[0])
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1, 2]}, x=[5, 5])

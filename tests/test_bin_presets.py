@@ -1,0 +1,57 @@
+"""Tests for the message-size-range presets (Sec. 2.3's breakdown options)."""
+
+import pytest
+
+from repro.core.measures import (
+    DEFAULT_BIN_EDGES,
+    DETAILED_EDGES,
+    SHORT_LONG_EDGES,
+    SizeBins,
+)
+from repro.mpisim.config import mvapich2_like
+from repro.nas.base import CpuModel
+from repro.nas.lu import lu_app
+from repro.runtime import run_app
+
+
+def test_short_long_is_two_bins():
+    bins = SizeBins(SHORT_LONG_EDGES)
+    assert len(bins.bins) == 2
+    assert bins.index_for(16383) == 0
+    assert bins.index_for(16384) == 1
+
+
+def test_detailed_edges_are_power_of_four():
+    assert all(b / a == 4.0 for a, b in zip(DETAILED_EDGES, DETAILED_EDGES[1:]))
+    assert DETAILED_EDGES[0] == 256.0
+    bins = SizeBins(DETAILED_EDGES)
+    assert len(bins.bins) == len(DETAILED_EDGES) + 1
+
+
+@pytest.mark.parametrize("edges", [SHORT_LONG_EDGES, DEFAULT_BIN_EDGES, DETAILED_EDGES])
+def test_presets_usable_in_full_run_and_totals_agree(edges):
+    cfg = mvapich2_like(bin_edges=edges)
+    result = run_app(
+        lu_app, 4, config=cfg, app_args=("S", 1, CpuModel(100e9), 4)
+    )
+    m = result.report(0).total
+    assert m.bins.edges == tuple(edges)
+    # Bin partition always reconstructs the totals, whatever the edges.
+    assert sum(b.count for b in m.bins.bins) == m.transfer_count
+    assert sum(b.xfer_time for b in m.bins.bins) == pytest.approx(
+        m.data_transfer_time
+    )
+
+
+def test_different_presets_same_totals():
+    totals = []
+    for edges in (SHORT_LONG_EDGES, DETAILED_EDGES):
+        cfg = mvapich2_like(bin_edges=edges)
+        result = run_app(
+            lu_app, 4, config=cfg, app_args=("S", 1, CpuModel(100e9), 4)
+        )
+        totals.append(result.report(0).total)
+    a, b = totals
+    assert a.data_transfer_time == b.data_transfer_time
+    assert a.min_overlap_time == b.min_overlap_time
+    assert a.max_overlap_time == b.max_overlap_time

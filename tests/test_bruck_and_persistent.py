@@ -1,0 +1,137 @@
+"""Tests for the Bruck alltoall schedule and persistent requests."""
+
+import pytest
+
+from repro.mpisim import MpiConfig
+from repro.mpisim.collectives.alltoall import bruck_round_count
+from repro.mpisim.status import MpiError
+from repro.runtime import run_app
+
+PAIRWISE = MpiConfig(name="a2a-pw", alltoall_algorithm="pairwise")
+BRUCK = MpiConfig(name="a2a-bruck", alltoall_algorithm="bruck")
+
+
+class TestBruck:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 5, 7, 8])
+    def test_data_placement_matches_pairwise_semantics(self, nprocs):
+        def app(ctx):
+            blocks = [f"{ctx.rank}->{dst}" for dst in range(ctx.size)]
+            got = yield from ctx.comm.alltoall(512, blocks)
+            assert got == [f"{src}->{ctx.rank}" for src in range(ctx.size)]
+
+        run_app(app, nprocs, config=BRUCK)
+
+    def test_round_count(self):
+        assert bruck_round_count(1) == 0
+        assert bruck_round_count(2) == 1
+        assert bruck_round_count(5) == 3
+        assert bruck_round_count(8) == 3
+
+    def test_fewer_messages_than_pairwise_at_scale(self):
+        def app(ctx):
+            yield from ctx.comm.alltoall(256)
+
+        counts = {}
+        for config in (PAIRWISE, BRUCK):
+            result = run_app(app, 16, config=config)
+            counts[config.name] = result.report(0).total.transfer_count
+        # Pairwise: 15 sends + 15 recvs; Bruck: 4 rounds x 2.
+        assert counts["a2a-pw"] == 30
+        assert counts["a2a-bruck"] == 2 * bruck_round_count(16)
+
+    def test_bruck_faster_for_small_messages_many_ranks(self):
+        # The log-round advantage overtakes pairwise's pipelining once the
+        # rank count is large enough (~32 in this cost model -- the same
+        # regime real MPIs switch algorithms in).
+        def app(ctx):
+            for _ in range(5):
+                yield from ctx.comm.alltoall(64)
+
+        times = {}
+        for config in (PAIRWISE, BRUCK):
+            times[config.name] = run_app(app, 32, config=config).elapsed
+        assert times["a2a-bruck"] < times["a2a-pw"]
+
+    def test_pairwise_faster_for_large_messages(self):
+        # Bruck moves every byte ~log2(P)/2 times: loses on bandwidth.
+        def app(ctx):
+            yield from ctx.comm.alltoall(1 << 20)
+
+        times = {}
+        for config in (PAIRWISE, BRUCK):
+            times[config.name] = run_app(app, 8, config=config).elapsed
+        assert times["a2a-pw"] < times["a2a-bruck"]
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            MpiConfig(alltoall_algorithm="magic")
+
+
+class TestPersistentRequests:
+    def test_start_wait_cycle_reuses_recipe(self):
+        def app(ctx):
+            if ctx.rank == 0:
+                psend = ctx.comm.send_init(1, 5, 1024, data="payload")
+                for _ in range(4):
+                    yield from ctx.comm.start(psend)
+                    yield from ctx.comm.wait_persistent(psend)
+                    assert not psend.is_active
+            else:
+                precv = ctx.comm.recv_init(0, 5)
+                for _ in range(4):
+                    yield from ctx.comm.start(precv)
+                    status, data = yield from ctx.comm.wait_persistent(precv)
+                    assert status.source == 0
+                    assert data == "payload"
+
+        run_app(app, 2)
+
+    def test_startall_exchange(self):
+        def app(ctx):
+            other = 1 - ctx.rank
+            reqs = [
+                ctx.comm.send_init(other, 1, 4096, data=ctx.rank),
+                ctx.comm.recv_init(other, 1),
+            ]
+            for _ in range(3):
+                yield from ctx.comm.startall(reqs)
+                _, _ = yield from ctx.comm.wait_persistent(reqs[0])
+                _, data = yield from ctx.comm.wait_persistent(reqs[1])
+                assert data == other
+
+        run_app(app, 2)
+
+    def test_double_start_rejected(self):
+        def app(ctx):
+            if ctx.rank == 0:
+                preq = ctx.comm.recv_init(1, 1)
+                yield from ctx.comm.start(preq)
+                yield from ctx.comm.start(preq)  # still active
+            else:
+                yield from ctx.compute(1e-3)
+                yield from ctx.comm.send(0, 1, 64)
+
+        with pytest.raises(MpiError, match="already active"):
+            run_app(app, 2)
+
+    def test_wait_before_start_rejected(self):
+        def app(ctx):
+            preq = ctx.comm.recv_init(0, 1)
+            yield from ctx.comm.wait_persistent(preq)
+
+        with pytest.raises(MpiError, match="not been started"):
+            run_app(app, 1)
+
+    def test_init_validates_peer(self):
+        def app(ctx):
+            with pytest.raises(MpiError):
+                ctx.comm.send_init(99, 1, 10)
+            yield from ctx.comm.barrier()
+
+        run_app(app, 2)
+
+    def test_bad_kind_rejected(self):
+        from repro.mpisim.request import PersistentRequest
+
+        with pytest.raises(ValueError):
+            PersistentRequest("probe", 0, 0, 0)

@@ -1,0 +1,90 @@
+"""Tests for the fixed-size circular event queue and name registry."""
+
+import pytest
+
+from repro.core.equeue import CircularEventQueue
+from repro.core.events import EventKind, NameRegistry, TimedEvent
+
+
+def _ev(t, ident=0):
+    return TimedEvent(EventKind.XFER_BEGIN, t, ident, 8)
+
+
+def test_push_buffers_until_full():
+    drained = []
+    q = CircularEventQueue(3, drained.extend)
+    q.push(_ev(1.0))
+    q.push(_ev(2.0))
+    assert drained == []
+    assert len(q) == 2
+
+
+def test_drain_fires_when_capacity_exceeded():
+    drained = []
+    q = CircularEventQueue(2, lambda batch: drained.append(list(batch)))
+    q.push(_ev(1.0))
+    q.push(_ev(2.0))
+    q.push(_ev(3.0))  # forces a drain of the first two
+    assert drained == [[_ev(1.0), _ev(2.0)]]
+    assert len(q) == 1
+
+
+def test_flush_drains_partial_queue():
+    drained = []
+    q = CircularEventQueue(10, lambda batch: drained.append(list(batch)))
+    q.push(_ev(1.0))
+    q.flush()
+    assert drained == [[_ev(1.0)]]
+    assert len(q) == 0
+
+
+def test_flush_on_empty_queue_is_noop():
+    drained = []
+    q = CircularEventQueue(4, lambda batch: drained.append(list(batch)))
+    q.flush()
+    assert drained == []
+    assert q.drains == 0
+
+
+def test_events_delivered_in_order_across_drains():
+    seen = []
+    q = CircularEventQueue(2, seen.extend)
+    for i in range(7):
+        q.push(_ev(float(i), ident=i))
+    q.flush()
+    assert [e.a for e in seen] == list(range(7))
+
+
+def test_statistics_counters():
+    q = CircularEventQueue(2, lambda batch: None)
+    for i in range(5):
+        q.push(_ev(float(i)))
+    assert q.pushed == 5
+    assert q.drains == 2  # drained at pushes 3 and 5
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        CircularEventQueue(0, lambda batch: None)
+
+
+def test_head_resets_after_drain_slots_reused():
+    q = CircularEventQueue(1, lambda batch: None)
+    q.push(_ev(1.0))
+    q.push(_ev(2.0))
+    q.push(_ev(3.0))
+    assert len(q) == 1
+    assert q.pushed == 3
+
+
+def test_name_registry_interns_stably():
+    reg = NameRegistry()
+    a = reg.intern("MPI_Isend")
+    b = reg.intern("MPI_Wait")
+    assert a != b
+    assert reg.intern("MPI_Isend") == a
+    assert reg.name_of(a) == "MPI_Isend"
+    assert reg.name_of(b) == "MPI_Wait"
+    assert len(reg) == 2
+    assert "MPI_Isend" in reg
+    assert "MPI_Recv" not in reg

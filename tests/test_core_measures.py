@@ -1,0 +1,137 @@
+"""Tests for OverlapMeasures and the message-size-range breakdown."""
+
+import pytest
+
+from repro.core.measures import (
+    CASE_ONE_EVENT,
+    CASE_SAME_CALL,
+    CASE_SPLIT_CALL,
+    OverlapMeasures,
+    SizeBins,
+)
+
+
+class TestSizeBins:
+    def test_default_edges_give_four_ranges(self):
+        bins = SizeBins()
+        assert len(bins.bins) == 4
+
+    def test_index_for_boundaries(self):
+        bins = SizeBins(edges=(100.0, 1000.0))
+        assert bins.index_for(0) == 0
+        assert bins.index_for(99) == 0
+        assert bins.index_for(100) == 1  # boundary goes to the upper bin
+        assert bins.index_for(999) == 1
+        assert bins.index_for(1000) == 2
+        assert bins.index_for(10**9) == 2
+
+    def test_add_accumulates_in_right_bin(self):
+        bins = SizeBins(edges=(100.0,))
+        bins.add(50, 1e-6, 0.0, 1e-6)
+        bins.add(200, 2e-6, 1e-6, 2e-6)
+        short, long_ = bins.bins
+        assert short.count == 1 and short.bytes == 50
+        assert long_.count == 1 and long_.xfer_time == pytest.approx(2e-6)
+        assert long_.min_overlap == pytest.approx(1e-6)
+
+    def test_labels_are_human_readable(self):
+        bins = SizeBins(edges=(1024.0, 1048576.0))
+        assert bins.label_for(0) == "[0B, 1KiB)"
+        assert bins.label_for(1) == "[1KiB, 1MiB)"
+        assert bins.label_for(2) == "[1MiB, inf)"
+
+    def test_merge_requires_same_edges(self):
+        with pytest.raises(ValueError):
+            SizeBins(edges=(1.0,)).merge(SizeBins(edges=(2.0,)))
+
+    def test_merge_sums_all_fields(self):
+        a = SizeBins(edges=(100.0,))
+        b = SizeBins(edges=(100.0,))
+        a.add(50, 1.0, 0.2, 0.5)
+        b.add(50, 2.0, 0.3, 1.0)
+        a.merge(b)
+        assert a.bins[0].count == 2
+        assert a.bins[0].xfer_time == pytest.approx(3.0)
+        assert a.bins[0].min_overlap == pytest.approx(0.5)
+        assert a.bins[0].max_overlap == pytest.approx(1.5)
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(ValueError):
+            SizeBins(edges=(10.0, 5.0))
+        with pytest.raises(ValueError):
+            SizeBins(edges=(0.0,))
+
+    def test_roundtrip_dict(self):
+        bins = SizeBins(edges=(64.0,))
+        bins.add(32, 1e-6, 0.0, 1e-6)
+        clone = SizeBins.from_dict(bins.to_dict())
+        assert clone.edges == bins.edges
+        assert clone.bins[0].to_dict() == bins.bins[0].to_dict()
+
+
+class TestOverlapMeasures:
+    def test_add_transfer_accumulates_everything(self):
+        m = OverlapMeasures()
+        m.add_transfer(2048, 1e-5, 2e-6, 8e-6, CASE_SPLIT_CALL)
+        m.add_transfer(4, 1e-7, 0.0, 0.0, CASE_SAME_CALL)
+        assert m.data_transfer_time == pytest.approx(1e-5 + 1e-7)
+        assert m.min_overlap_time == pytest.approx(2e-6)
+        assert m.max_overlap_time == pytest.approx(8e-6)
+        assert m.transfer_count == 2
+        assert m.case_counts == {1: 1, 2: 1, 3: 0}
+
+    def test_bounds_validation(self):
+        m = OverlapMeasures()
+        with pytest.raises(ValueError):
+            m.add_transfer(8, 1e-6, 5e-7, 4e-7, CASE_SPLIT_CALL)  # min > max
+        with pytest.raises(ValueError):
+            m.add_transfer(8, 1e-6, 0.0, 2e-6, CASE_SPLIT_CALL)  # max > xfer
+
+    def test_interval_attribution(self):
+        m = OverlapMeasures()
+        m.add_interval(2.0, in_call=False)
+        m.add_interval(1.0, in_call=True)
+        m.add_interval(0.5, in_call=False)
+        assert m.computation_time == pytest.approx(2.5)
+        assert m.communication_call_time == pytest.approx(1.0)
+
+    def test_percent_properties(self):
+        m = OverlapMeasures()
+        m.add_transfer(100, 10.0, 2.0, 8.0, CASE_SPLIT_CALL)
+        assert m.min_overlap_pct == pytest.approx(20.0)
+        assert m.max_overlap_pct == pytest.approx(80.0)
+        assert m.min_nonoverlapped_time == pytest.approx(2.0)
+        assert m.guaranteed_overlap_time == pytest.approx(2.0)
+
+    def test_percent_zero_when_no_transfers(self):
+        m = OverlapMeasures()
+        assert m.min_overlap_pct == 0.0
+        assert m.max_overlap_pct == 0.0
+
+    def test_merge_sums_fields_and_cases(self):
+        a, b = OverlapMeasures(), OverlapMeasures()
+        a.add_transfer(10, 1.0, 0.1, 0.5, CASE_SPLIT_CALL)
+        a.add_interval(3.0, in_call=False)
+        b.add_transfer(10, 2.0, 0.0, 2.0, CASE_ONE_EVENT)
+        b.add_interval(1.0, in_call=True)
+        a.merge(b)
+        assert a.data_transfer_time == pytest.approx(3.0)
+        assert a.case_counts == {1: 0, 2: 1, 3: 1}
+        assert a.computation_time == pytest.approx(3.0)
+        assert a.communication_call_time == pytest.approx(1.0)
+
+    def test_roundtrip_dict(self):
+        m = OverlapMeasures()
+        m.add_transfer(2048, 1e-5, 2e-6, 8e-6, CASE_SPLIT_CALL)
+        m.add_interval(0.25, in_call=True)
+        clone = OverlapMeasures.from_dict(m.to_dict())
+        assert clone.data_transfer_time == pytest.approx(m.data_transfer_time)
+        assert clone.case_counts == m.case_counts
+        assert clone.communication_call_time == pytest.approx(0.25)
+        assert clone.bins.edges == m.bins.edges
+
+    def test_repr_mentions_bounds(self):
+        m = OverlapMeasures()
+        m.add_transfer(100, 10.0, 2.0, 8.0, CASE_SPLIT_CALL)
+        text = repr(m)
+        assert "20.0%" in text and "80.0%" in text

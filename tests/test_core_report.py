@@ -1,0 +1,117 @@
+"""Tests for per-process reports, persistence, and aggregation."""
+
+import pytest
+
+from repro.core.measures import CASE_SPLIT_CALL, OverlapMeasures
+from repro.core.monitor import Monitor
+from repro.core.report import OverlapReport, aggregate_reports, aggregate_sections
+from repro.core.xfer_table import XferTable
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_report(rank=0, label="test", with_section=False):
+    clock = FakeClock()
+    table = XferTable.from_model(latency=1e-6, bandwidth=1e9)
+    mon = Monitor(clock, table)
+    ctx = mon.section("solver") if with_section else None
+    if ctx:
+        ctx.__enter__()
+    with mon.call("MPI_Isend"):
+        clock.advance(1e-6)
+        xid = mon.xfer_begin(10000)
+    clock.advance(50e-6)
+    with mon.call("MPI_Wait"):
+        clock.advance(2e-6)
+        mon.xfer_end(xid, 10000)
+    if ctx:
+        ctx.__exit__(None, None, None)
+    return mon.finalize(rank=rank, label=label)
+
+
+def test_report_roundtrip_through_file(tmp_path):
+    report = make_report(rank=3, label="cg.A.4", with_section=True)
+    path = tmp_path / "overlap.rank3.json"
+    report.save(path)
+    loaded = OverlapReport.load(path)
+    assert loaded.rank == 3
+    assert loaded.label == "cg.A.4"
+    assert loaded.total.data_transfer_time == pytest.approx(
+        report.total.data_transfer_time
+    )
+    assert loaded.total.case_counts == report.total.case_counts
+    assert "solver" in loaded.sections
+    assert loaded.call_stats["MPI_Wait"][0] == 1
+
+
+def test_report_rejects_unknown_format():
+    with pytest.raises(ValueError):
+        OverlapReport.from_dict({"format_version": 999})
+
+
+def test_mpi_time_is_total_call_time():
+    report = make_report()
+    assert report.mpi_time == pytest.approx(
+        report.total.communication_call_time
+    )
+    assert report.mpi_time == pytest.approx(3e-6)
+
+
+def test_mean_call_time_missing_name_is_zero():
+    report = make_report()
+    assert report.mean_call_time("MPI_Alltoall") == 0.0
+    assert report.total_call_time("MPI_Alltoall") == 0.0
+
+
+def test_render_text_contains_key_measures():
+    report = make_report(with_section=True)
+    text = report.render_text()
+    assert "data transfer time" in text
+    assert "min overlapped" in text
+    assert "section 'solver'" in text
+    assert "by message size" in text
+
+
+def test_aggregate_reports_sums_totals():
+    reports = [make_report(rank=i) for i in range(4)]
+    merged = aggregate_reports(reports)
+    assert merged.transfer_count == 4
+    assert merged.data_transfer_time == pytest.approx(
+        4 * reports[0].total.data_transfer_time
+    )
+
+
+def test_aggregate_reports_empty_raises():
+    with pytest.raises(ValueError):
+        aggregate_reports([])
+    with pytest.raises(ValueError):
+        aggregate_sections([], "x")
+
+
+def test_aggregate_sections_skips_ranks_without_section():
+    with_sec = make_report(rank=0, with_section=True)
+    without = make_report(rank=1, with_section=False)
+    merged = aggregate_sections([with_sec, without], "solver")
+    assert merged.transfer_count == 1
+
+
+def test_aggregated_percent_is_weighted_not_mean():
+    # One rank with all-overlap, one with none: percent must weight by
+    # transfer time, not average the percents.
+    a = OverlapMeasures()
+    a.add_transfer(100, 3.0, 3.0, 3.0, CASE_SPLIT_CALL)
+    b = OverlapMeasures()
+    b.add_transfer(100, 1.0, 0.0, 0.0, CASE_SPLIT_CALL)
+    merged = OverlapMeasures()
+    merged.merge(a)
+    merged.merge(b)
+    assert merged.max_overlap_pct == pytest.approx(75.0)

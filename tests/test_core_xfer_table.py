@@ -1,0 +1,109 @@
+"""Tests for the a-priori transfer-time table."""
+
+import pytest
+
+from repro.core.xfer_table import XferTable
+
+
+@pytest.fixture
+def table():
+    # 1 KiB -> 10 us, 1 MiB -> 1 ms style measurements.
+    return XferTable([1024.0, 65536.0, 1048576.0], [10e-6, 80e-6, 1.1e-3])
+
+
+def test_exact_points_returned_verbatim(table):
+    assert table.time_for(1024) == pytest.approx(10e-6)
+    assert table.time_for(65536) == pytest.approx(80e-6)
+    assert table.time_for(1048576) == pytest.approx(1.1e-3)
+
+
+def test_interpolation_between_points(table):
+    mid = (1024 + 65536) / 2
+    expect = (10e-6 + 80e-6) / 2
+    assert table.time_for(mid) == pytest.approx(expect)
+
+
+def test_zero_and_negative_sizes_cost_nothing(table):
+    assert table.time_for(0) == 0.0
+    assert table.time_for(-5) == 0.0
+
+
+def test_below_range_scales_by_smallest_rate(table):
+    assert table.time_for(512) == pytest.approx(10e-6 * 512 / 1024)
+
+
+def test_above_range_extrapolates_with_boundary_bandwidth(table):
+    slope = (1.1e-3 - 80e-6) / (1048576 - 65536)
+    expect = 1.1e-3 + slope * (2 * 1048576 - 1048576)
+    assert table.time_for(2 * 1048576) == pytest.approx(expect)
+
+
+def test_monotone_in_size(table):
+    sizes = [2**k for k in range(0, 24)]
+    times = [table.time_for(s) for s in sizes]
+    assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+def test_times_for_vectorized_matches_scalar(table):
+    sizes = [100.0, 1024.0, 50000.0, 4e6]
+    vec = table.times_for(sizes)
+    assert list(vec) == pytest.approx([table.time_for(s) for s in sizes])
+
+
+def test_bandwidth_for(table):
+    assert table.bandwidth_for(1048576) == pytest.approx(1048576 / 1.1e-3)
+
+
+def test_single_point_table_scales_proportionally():
+    t = XferTable([1000.0], [1e-4])
+    assert t.time_for(2000.0) == pytest.approx(2e-4)
+    assert t.time_for(500.0) == pytest.approx(5e-5)
+
+
+def test_roundtrip_through_disk(tmp_path, table):
+    path = tmp_path / "xfer.tsv"
+    table.save(path)
+    loaded = XferTable.load(path)
+    assert loaded == table
+
+
+def test_loads_skips_comments_and_blank_lines():
+    text = "# header\n\n1024\t1e-5\n2048\t2e-5\n"
+    t = XferTable.loads(text)
+    assert t.time_for(1024) == pytest.approx(1e-5)
+
+
+def test_loads_rejects_malformed_lines():
+    with pytest.raises(ValueError, match="malformed"):
+        XferTable.loads("1024 1e-5 junk\n")
+
+
+def test_from_model_matches_latency_bandwidth():
+    t = XferTable.from_model(latency=5e-6, bandwidth=1e9)
+    assert t.time_for(1e6) == pytest.approx(5e-6 + 1e-3, rel=1e-6)
+
+
+@pytest.mark.parametrize(
+    "sizes,times",
+    [
+        ([], []),
+        ([0.0], [1e-6]),
+        ([-1.0], [1e-6]),
+        ([2.0, 1.0], [1e-6, 2e-6]),
+        ([1.0, 1.0], [1e-6, 2e-6]),
+        ([1.0], [0.0]),
+        ([1.0], [-1e-9]),
+        ([1.0, 2.0], [1e-6]),
+    ],
+)
+def test_invalid_construction_rejected(sizes, times):
+    with pytest.raises(ValueError):
+        XferTable(sizes, times)
+
+
+def test_equality_and_repr(table):
+    same = XferTable(table.sizes, table.times)
+    assert table == same
+    assert table != XferTable([1.0], [1e-6])
+    assert table.__eq__(42) is NotImplemented
+    assert "points" in repr(table)

@@ -1,0 +1,60 @@
+"""Tests for CSV export of experiment records."""
+
+import csv
+import io
+
+from repro.analysis.export import micro_csv, nas_char_csv, overhead_csv, sp_tuning_csv
+from repro.experiments.micro import overlap_sweep
+from repro.experiments.nas_char import characterize
+from repro.experiments.overhead import OverheadPoint
+from repro.experiments.sp_tuning import sp_tuning
+from repro.mpisim.config import MpiConfig
+from repro.nas.base import CpuModel
+
+FAST = CpuModel(flop_rate=100e9)
+
+
+def _parse(text):
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+def test_micro_csv_rows_and_fields(tmp_path):
+    points = overlap_sweep("isend_irecv", 8192, [0.0, 1e-5], MpiConfig(), iters=3)
+    path = tmp_path / "micro.csv"
+    text = micro_csv(points, path)
+    rows = _parse(text)
+    assert len(rows) == 4  # 2 points x 2 sides
+    assert rows[0]["side"] == "sender"
+    assert float(rows[2]["compute_s"]) == 1e-5
+    assert path.read_text() == text
+
+
+def test_nas_char_csv():
+    point = characterize("cg", "S", 4, niter=1, cpu=FAST)
+    rows = _parse(nas_char_csv([point]))
+    assert len(rows) == 1
+    assert rows[0]["benchmark"] == "cg"
+    assert int(rows[0]["transfers"]) > 0
+    assert 0.0 <= float(rows[0]["max_overlap_pct"]) <= 100.0 + 1e-6
+
+
+def test_sp_tuning_csv():
+    result = sp_tuning("S", 4, niter=1, cpu=FAST)
+    rows = _parse(sp_tuning_csv([result]))
+    assert len(rows) == 4  # 2 variants x 2 scopes
+    keys = {(r["variant"], r["scope"]) for r in rows}
+    assert keys == {("original", "section"), ("original", "full"),
+                    ("modified", "section"), ("modified", "full")}
+
+
+def test_overhead_csv():
+    p = OverheadPoint("lu", "A", 4, 1.002, 1.0, 500)
+    rows = _parse(overhead_csv([p]))
+    assert len(rows) == 1
+    assert float(rows[0]["overhead_pct"]) > 0
+
+
+def test_empty_inputs_yield_header_only():
+    for fn in (micro_csv, nas_char_csv, sp_tuning_csv, overhead_csv):
+        text = fn([])
+        assert text.count("\n") == 1  # just the header line

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs cleanly as ``__main__``."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_enough_examples():
+    assert len(EXAMPLES) >= 3, EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_reports_full_overlap():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "overlap report: rank 0" in proc.stdout
+    assert "hid at least 100%" in proc.stdout
+
+
+def test_tune_sp_overlap_shows_improvement():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "tune_sp_overlap.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "diagnosis" in proc.stdout
+    assert "% better" in proc.stdout

@@ -1,0 +1,64 @@
+"""Tests for FT's 1-D vs 2-D decompositions (the latter exercises
+MPI_Comm_split inside a NAS kernel, as the NPB source does)."""
+
+import pytest
+
+from repro.mpisim.config import mvapich2_like
+from repro.nas.base import CpuModel
+from repro.nas.ft import ft_app
+from repro.runtime import run_app
+
+FAST = CpuModel(flop_rate=100e9)
+
+
+@pytest.mark.parametrize("layout", ["1d", "2d"])
+@pytest.mark.parametrize("nprocs", [2, 4, 8])
+def test_both_layouts_verify(layout, nprocs):
+    result = run_app(
+        ft_app, nprocs, config=mvapich2_like(),
+        app_args=("S", 2, FAST, layout),
+    )
+    assert result.returns[0] == sum(range(1, nprocs + 1)) * 2
+
+
+def test_2d_layout_message_counts():
+    # P=4 => 2x2 grid: each transpose is two alltoalls within size-2
+    # sub-communicators: (2-1)x2 transfers each = 4/iteration, plus the
+    # root's allreduce share (4).
+    def count(niter):
+        result = run_app(
+            ft_app, 4, config=mvapich2_like(),
+            app_args=("S", niter, FAST, "2d"),
+        )
+        return result.report(0).total.transfer_count
+
+    per_iter = count(3) - count(2)
+    assert per_iter == 4 + 4
+
+
+def test_2d_layout_fewer_partners_bigger_blocks():
+    runs = {}
+    for layout in ("1d", "2d"):
+        result = run_app(
+            ft_app, 8, config=mvapich2_like(),
+            app_args=("S", 2, FAST, layout),
+        )
+        runs[layout] = result.report(0).total
+    # 2-D alltoalls run within sub-communicators: fewer partners, so the
+    # same volume moves in larger blocks (local/p1 and local/p2 vs local/P).
+    def biggest(m):
+        return max(b.bytes / b.count for b in m.bins.bins if b.count)
+
+    assert biggest(runs["2d"]) > biggest(runs["1d"])
+    # The volume crossing the wire doubles (two transposes move all data).
+    vol_1d = sum(b.bytes for b in runs["1d"].bins.bins)
+    vol_2d = sum(b.bytes for b in runs["2d"].bins.bins)
+    assert vol_2d > 1.3 * vol_1d
+    # But the overlap verdict is the same: collectives can't overlap.
+    assert runs["2d"].max_overlap_pct < 35.0
+    assert runs["1d"].max_overlap_pct < 35.0
+
+
+def test_unknown_layout_rejected():
+    with pytest.raises(ValueError, match="layout"):
+        run_app(ft_app, 2, app_args=("S", 1, FAST, "3d"))

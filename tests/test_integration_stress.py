@@ -1,0 +1,209 @@
+"""Cross-module integration and stress scenarios.
+
+Larger rank counts, incast pressure, unexpected-message floods, wildcard
+rendezvous, tiny event queues under full applications, and mixed
+MPI-pattern workloads -- the situations a downstream user will hit first.
+"""
+
+import pytest
+
+from repro.mpisim import MpiConfig
+from repro.mpisim.config import mvapich2_like, openmpi_like
+from repro.mpisim.status import ANY_SOURCE, ANY_TAG
+from repro.nas.base import CpuModel
+from repro.nas.cg import cg_app
+from repro.nas.lu import lu_app
+from repro.runtime import run_app
+
+FAST = CpuModel(flop_rate=100e9)
+
+
+class TestScale:
+    def test_32_rank_cg(self):
+        result = run_app(
+            cg_app, 32, config=openmpi_like(), app_args=("S", 1, FAST, 2)
+        )
+        assert len(set(result.returns)) == 1
+        for rank in range(32):
+            m = result.report(rank).total
+            assert 0.0 <= m.min_overlap_time <= m.max_overlap_time + 1e-12
+
+    def test_64_rank_barrier_storm(self):
+        def app(ctx):
+            for _ in range(5):
+                yield from ctx.comm.barrier()
+            return ctx.now
+
+        result = run_app(app, 64)
+        # Everyone leaves the last barrier at a sane time.
+        assert max(result.returns) < 0.1
+
+    def test_wide_alltoall(self):
+        def app(ctx):
+            got = yield from ctx.comm.alltoall(4096, list(range(ctx.size)))
+            assert got == [ctx.rank] * ctx.size
+
+        run_app(app, 24, config=mvapich2_like())
+
+
+class TestIncastPressure:
+    def test_many_to_one_eager_flood(self):
+        """All ranks blast rank 0; RX-port serialization must not lose or
+        reorder anything, and rank 0's accounting must balance."""
+        n_msgs = 10
+
+        def app(ctx):
+            if ctx.rank == 0:
+                seen = {}
+                for _ in range(n_msgs * (ctx.size - 1)):
+                    status, data = yield from ctx.comm.recv(ANY_SOURCE, ANY_TAG)
+                    seen.setdefault(status.source, []).append(data)
+                for src, values in seen.items():
+                    assert values == list(range(n_msgs)), src
+            else:
+                for i in range(n_msgs):
+                    yield from ctx.comm.send(0, ctx.rank, 2048, data=i)
+
+        result = run_app(app, 6, config=openmpi_like())
+        root = result.report(0).total
+        assert root.transfer_count == n_msgs * 5
+        assert root.case_counts[3] == n_msgs * 5  # all END-only receives
+
+    def test_many_to_one_rendezvous_flood(self):
+        def app(ctx):
+            if ctx.rank == 0:
+                for _ in range(ctx.size - 1):
+                    yield from ctx.comm.recv(ANY_SOURCE, 1)
+            else:
+                yield from ctx.comm.send(0, 1, 500_000)
+
+        result = run_app(app, 5, config=mvapich2_like())
+        # Rendezvous transfers all arrive; total bytes on the wire cover
+        # 4 x 500 KB of payload plus control traffic.
+        assert result.fabric.total_bytes_on_wire() > 4 * 500_000
+
+
+class TestUnexpectedFlood:
+    def test_thousand_unexpected_eager_messages(self):
+        def app(ctx):
+            if ctx.rank == 0:
+                for i in range(1000):
+                    req = yield from ctx.comm.isend(1, i % 7, 64, data=i)
+                    assert req.done  # eager: buffered immediately
+                yield from ctx.comm.barrier()
+            else:
+                yield from ctx.comm.barrier()  # everything lands unexpected
+                got = []
+                for _ in range(1000):
+                    _, data = yield from ctx.comm.recv(0, ANY_TAG)
+                    got.append(data)
+                assert got == list(range(1000))  # per-pair FIFO across tags
+
+        run_app(app, 2, config=openmpi_like())
+
+    def test_wildcard_rendezvous_from_unexpected_queue(self):
+        # RTS queued unexpected, then matched by an ANY_SOURCE receive.
+        def app(ctx):
+            if ctx.rank == 0:
+                yield from ctx.compute(3e-3)
+                status, data = yield from ctx.comm.recv(ANY_SOURCE, ANY_TAG)
+                assert status.source == 1
+                assert status.nbytes == 300_000
+                assert data == "bulk"
+            elif ctx.rank == 1:
+                yield from ctx.comm.send(0, 9, 300_000, data="bulk")
+
+        run_app(app, 3, config=mvapich2_like())
+
+
+class TestTinyQueueEquivalence:
+    """A capacity-2 event queue must measure a full NAS run identically."""
+
+    def test_lu_identical_measures(self):
+        results = {}
+        for capacity in (2, 4096):
+            cfg = mvapich2_like(queue_capacity=capacity)
+            result = run_app(
+                lu_app, 4, config=cfg, app_args=("S", 1, FAST, 6)
+            )
+            results[capacity] = result.report(0).total
+        small, big = results[2], results[4096]
+        assert small.min_overlap_time == big.min_overlap_time
+        assert small.max_overlap_time == big.max_overlap_time
+        assert small.computation_time == big.computation_time
+        assert small.case_counts == big.case_counts
+
+
+class TestMixedPatterns:
+    def test_pipelined_and_eager_interleaved_with_collectives(self):
+        config = MpiConfig(name="mix", eager_limit=8192, rndv_mode="pipelined",
+                           frag_size=16384)
+
+        def app(ctx):
+            partner = ctx.rank ^ 1
+            for i in range(4):
+                size = 200_000 if i % 2 else 512
+                rreq = yield from ctx.comm.irecv(partner, 3)
+                sreq = yield from ctx.comm.isend(partner, 3, size, data=(ctx.rank, i))
+                yield from ctx.compute(1e-4)
+                yield from ctx.comm.waitall([sreq, rreq])
+                assert rreq.data == (partner, i)
+                total = yield from ctx.comm.allreduce(1, 8)
+                assert total == ctx.size
+
+        run_app(app, 4, config=config)
+
+    def test_nested_sections_attribute_consistently(self):
+        def app(ctx):
+            partner = ctx.rank ^ 1
+            with ctx.section("outer"):
+                yield from ctx.comm.sendrecv(partner, 1, 4096, partner, 1)
+                with ctx.section("inner"):
+                    yield from ctx.comm.sendrecv(partner, 2, 4096, partner, 2)
+
+        result = run_app(app, 2, config=openmpi_like())
+        rep = result.report(0)
+        outer, inner = rep.sections["outer"], rep.sections["inner"]
+        # Outer covers both exchanges; inner only the second.
+        assert outer.transfer_count == 4
+        assert inner.transfer_count == 2
+        assert outer.communication_call_time >= inner.communication_call_time
+
+    def test_rank_counts_that_are_not_powers_of_two(self):
+        for nprocs in (3, 5, 7, 11):
+            def app(ctx):
+                total = yield from ctx.comm.allreduce(ctx.rank, 8)
+                assert total == sum(range(ctx.size))
+                got = yield from ctx.comm.alltoall(256, list(range(ctx.size)))
+                assert got == [ctx.rank] * ctx.size
+
+            run_app(app, nprocs)
+
+
+class TestAccountingBalances:
+    def test_wire_bytes_at_least_payload(self):
+        payload = 100_000
+
+        def app(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(1, 1, payload)
+            else:
+                yield from ctx.comm.recv(0, 1)
+
+        for config in (openmpi_like(), openmpi_like(leave_pinned=True),
+                       mvapich2_like()):
+            result = run_app(app, 2, config=config)
+            assert result.fabric.total_bytes_on_wire() >= payload
+
+    def test_sender_and_receiver_count_same_transfer_time(self):
+        # Both sides account the same message against the same table.
+        def app(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(1, 1, 30_000)
+            else:
+                yield from ctx.comm.recv(0, 1)
+
+        result = run_app(app, 2, config=openmpi_like())
+        s = result.report(0).total.data_transfer_time
+        r = result.report(1).total.data_transfer_time
+        assert s == pytest.approx(r)

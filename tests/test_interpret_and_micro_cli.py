@@ -1,0 +1,89 @@
+"""Tests for the interpretation helper and the micro CLI."""
+
+import pytest
+
+from repro.analysis.interpret import interpret, render_interpretation
+from repro.experiments.sp_tuning import sp_tuning
+from repro.nas.base import CpuModel
+from repro.nas.sp import OVERLAP_SECTION
+from repro.tools import micro as micro_cli
+
+FAST = CpuModel(flop_rate=5e9)
+
+
+class TestInterpret:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        result = sp_tuning("A", 4, niter=1, cpu=FAST)
+        return result.original, result.modified
+
+    def test_original_flags_case1_signature(self, pair):
+        original, _ = pair
+        interp = interpret(original, section=OVERLAP_SECTION)
+        assert interp.same_call_share >= 0.5
+        assert any("case 1" in a for a in interp.advice)
+        assert interp.min_nonoverlapped_time > 0
+
+    def test_modified_is_healthier(self, pair):
+        original, modified = pair
+        before = interpret(modified := modified, section=OVERLAP_SECTION)
+        after = interpret(original, section=OVERLAP_SECTION)
+        assert before.min_nonoverlapped_time < after.min_nonoverlapped_time
+        assert before.guaranteed_savings > after.guaranteed_savings
+        assert before.same_call_share < after.same_call_share
+
+    def test_total_scope_and_dominant_range(self, pair):
+        original, _ = pair
+        interp = interpret(original)
+        assert interp.scope == "<total>"
+        assert interp.dominant_loss_range is not None
+        assert 0.0 <= interp.loss_fraction_of_wall <= 1.0
+
+    def test_unknown_section_rejected(self, pair):
+        with pytest.raises(ValueError, match="no section"):
+            interpret(pair[0], section="nope")
+
+    def test_render_includes_advice(self, pair):
+        text = render_interpretation(interpret(pair[0], section=OVERLAP_SECTION))
+        assert "interpretation" in text
+        assert "->" in text
+        assert "non-hidden" in text
+
+
+class TestMicroCli:
+    def test_default_run_prints_both_sides(self, capsys):
+        rc = micro_cli.main([
+            "--size", "10240", "--computes", "0,20e-6", "--iters", "5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(sender)" in out and "(receiver)" in out
+        assert "max ovlp %" in out
+
+    def test_single_side_with_plot(self, capsys):
+        rc = micro_cli.main([
+            "--pattern", "isend_recv", "--size", "1048576",
+            "--computes", "0,1e-3,2e-3", "--iters", "5",
+            "--library", "openmpi", "--leave-pinned",
+            "--side", "sender", "--plot",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(sender)" in out and "(receiver)" not in out
+        assert "max overlap (%) vs compute" in out
+
+    def test_rput_library_choice(self, capsys):
+        rc = micro_cli.main([
+            "--pattern", "isend_recv", "--size", "200000",
+            "--computes", "1e-3", "--iters", "5", "--library", "rput",
+        ])
+        assert rc == 0
+        assert "rput" in capsys.readouterr().out
+
+    def test_mvapich2_library_choice(self, capsys):
+        rc = micro_cli.main([
+            "--size", "10240", "--computes", "0", "--iters", "3",
+            "--library", "mvapich2",
+        ])
+        assert rc == 0
+        assert "mvapich2" in capsys.readouterr().out

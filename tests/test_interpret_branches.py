@@ -1,0 +1,74 @@
+"""Branch coverage for the interpretation helper's advice rules."""
+
+import pytest
+
+from repro.analysis.interpret import interpret, render_interpretation
+from repro.core.measures import CASE_ONE_EVENT, CASE_SPLIT_CALL
+from repro.core.report import OverlapReport
+from repro.core.measures import OverlapMeasures
+
+
+def _report(total: OverlapMeasures, wall=1.0, sections=None):
+    return OverlapReport(
+        rank=0, label="t", wall_time=wall, event_count=10,
+        total=total, sections=sections or {}, call_stats={},
+    )
+
+
+def test_no_transfers_advice():
+    interp = interpret(_report(OverlapMeasures()))
+    assert interp.advice == ["no data transfers observed in this scope"]
+    assert interp.dominant_loss_range is None
+    assert interp.same_call_share == 0.0
+
+
+def test_healthy_scope_advice():
+    m = OverlapMeasures()
+    # Fully hidden small transfer: no loss, tight bounds.
+    m.add_transfer(512, 1e-4, 1e-4, 1e-4, CASE_SPLIT_CALL)
+    m.add_interval(1.0, in_call=False)
+    interp = interpret(_report(m))
+    assert interp.advice == ["overlap is healthy in this scope"] or all(
+        "size range" in a or "healthy" in a for a in interp.advice
+    )
+    assert interp.min_nonoverlapped_time == pytest.approx(0.0)
+
+
+def test_wide_bounds_advice():
+    m = OverlapMeasures()
+    # Case-3 uncertainty: min 0, max full.
+    m.add_transfer(100_000, 5e-3, 0.0, 5e-3, CASE_ONE_EVENT)
+    interp = interpret(_report(m, wall=1.0))
+    assert any("bounds are wide" in a for a in interp.advice)
+
+
+def test_large_loss_fraction_advice():
+    m = OverlapMeasures()
+    m.add_transfer(1 << 20, 0.5, 0.0, 0.0, CASE_SPLIT_CALL)
+    interp = interpret(_report(m, wall=1.0))
+    assert any("of wall time" in a for a in interp.advice)
+    assert interp.loss_fraction_of_wall == pytest.approx(0.5)
+
+
+def test_dominant_range_identifies_biggest_loss():
+    m = OverlapMeasures()
+    m.add_transfer(256, 1e-5, 0.0, 0.0, CASE_SPLIT_CALL)  # tiny loss
+    m.add_transfer(1 << 20, 2e-3, 0.0, 0.0, CASE_SPLIT_CALL)  # big loss
+    interp = interpret(_report(m))
+    assert interp.dominant_loss_range is not None
+    assert "256KiB" in interp.dominant_loss_range or "inf" in interp.dominant_loss_range
+
+
+def test_zero_wall_time_guard():
+    m = OverlapMeasures()
+    m.add_transfer(64, 1e-6, 0.0, 0.0, CASE_SPLIT_CALL)
+    interp = interpret(_report(m, wall=0.0))
+    assert interp.loss_fraction_of_wall == 0.0
+
+
+def test_section_scope_render():
+    m = OverlapMeasures()
+    m.add_transfer(64, 1e-6, 0.0, 0.0, CASE_SPLIT_CALL)
+    rep = _report(OverlapMeasures(), sections={"phase": m})
+    text = render_interpretation(interpret(rep, section="phase"))
+    assert "interpretation (phase)" in text

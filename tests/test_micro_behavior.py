@@ -1,0 +1,242 @@
+"""Behavioural validation of the Sec. 3 microbenchmarks.
+
+Each test asserts the *shape* the corresponding paper figure shows:
+who overlaps, how the bounds respond to inserted computation, and what
+happens to MPI_Wait time.
+"""
+
+import pytest
+
+from repro.experiments.micro import build_xfer_table, measure_one_way_time, overlap_sweep
+from repro.mpisim.config import MpiConfig, mvapich2_like, openmpi_like
+from repro.netsim.params import NetworkParams
+
+# 10 KB eager and 1 MB rendezvous, as in the paper's experiment.
+SHORT = 10 * 1024
+LONG = 1024 * 1024
+
+SHORT_SWEEP = [0.0, 5e-6, 10e-6, 20e-6, 30e-6, 60e-6]
+LONG_SWEEP = [0.0, 0.25e-3, 0.5e-3, 1.0e-3, 1.5e-3, 2.0e-3]
+
+ITERS = 30
+
+
+def sweep(pattern, nbytes, computes, config):
+    return overlap_sweep(pattern, nbytes, computes, config, iters=ITERS)
+
+
+@pytest.fixture(scope="module")
+def pipelined_points():
+    return {
+        p: sweep(p, LONG, LONG_SWEEP, openmpi_like(leave_pinned=False))
+        for p in ("isend_recv", "send_irecv", "isend_irecv")
+    }
+
+
+@pytest.fixture(scope="module")
+def direct_points():
+    return {
+        p: sweep(p, LONG, LONG_SWEEP, openmpi_like(leave_pinned=True))
+        for p in ("isend_recv", "send_irecv", "isend_irecv")
+    }
+
+
+class TestFig3Eager:
+    """Isend-Irecv with the eager protocol: short messages fully overlap."""
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep("isend_irecv", SHORT, SHORT_SWEEP, openmpi_like())
+
+    def test_sender_max_overlap_rises_to_full(self, points):
+        maxes = [p.max_pct("sender") for p in points]
+        assert maxes[0] < 35.0
+        assert maxes[-1] > 95.0
+        # Allow small wobble from case-mix changes at the boundary.
+        assert all(b >= a - 3.0 for a, b in zip(maxes, maxes[1:]))
+
+    def test_sender_min_overlap_rises(self, points):
+        mins = [p.min_pct("sender") for p in points]
+        assert mins[-1] > 60.0
+        assert mins[-1] >= mins[0]
+
+    def test_receiver_asserts_zero_min_full_max(self, points):
+        # "we always assert minimum overlap as zero and maximum overlap as
+        # the message transfer time for the receiver"
+        for p in points:
+            assert p.min_pct("receiver") == 0.0
+            assert p.max_pct("receiver") == pytest.approx(100.0)
+
+    def test_receiver_wait_time_drops_with_computation(self, points):
+        waits = [p.wait_time("receiver") for p in points]
+        assert waits[-1] < waits[0]
+
+    def test_bounds_nest(self, points):
+        for p in points:
+            for side in ("sender", "receiver"):
+                assert 0.0 <= p.min_pct(side) <= p.max_pct(side) + 1e-9 <= 100.0 + 1e-6
+
+
+class TestFig4IsendRecvPipelined:
+    """Only the initial fragment overlaps: flat curves."""
+
+    def test_sender_max_overlap_flat_and_low(self, pipelined_points):
+        points = pipelined_points["isend_recv"]
+        maxes = [p.max_pct("sender") for p in points]
+        # frag0 = 128 KiB of 1 MiB: ~1/8 of the transfer time.
+        assert all(m < 30.0 for m in maxes)
+        assert abs(maxes[-1] - maxes[1]) < 5.0  # flat once compute > 0
+
+    def test_sender_wait_time_stays_high(self, pipelined_points):
+        points = pipelined_points["isend_recv"]
+        waits = [p.wait_time("sender") for p in points]
+        # The 7 remaining fragments are written inside MPI_Wait regardless
+        # of how much computation was inserted.
+        assert waits[-1] > 0.5 * waits[0]
+        assert waits[-1] > 1e-4
+
+
+class TestFig5IsendRecvDirect:
+    """Direct RDMA: receiver reads as soon as the RTS arrives."""
+
+    def test_sender_overlap_rises_to_full(self, direct_points):
+        points = direct_points["isend_recv"]
+        maxes = [p.max_pct("sender") for p in points]
+        mins = [p.min_pct("sender") for p in points]
+        assert maxes[0] < 30.0
+        assert maxes[-1] > 90.0
+        assert mins[-1] > 80.0
+
+    def test_sender_wait_time_drops_progressively(self, direct_points):
+        points = direct_points["isend_recv"]
+        waits = [p.wait_time("sender") for p in points]
+        assert waits[-1] < 0.2 * waits[0]
+
+    def test_direct_beats_pipelined_for_sender(self, direct_points, pipelined_points):
+        d = direct_points["isend_recv"][-1]
+        p = pipelined_points["isend_recv"][-1]
+        assert d.max_pct("sender") > p.max_pct("sender") + 30.0
+
+
+class TestFig6SendIrecvPipelined:
+    """Polling progress blinds the receiver; only frag0 can overlap."""
+
+    def test_receiver_overlap_minimal(self, pipelined_points):
+        points = pipelined_points["send_irecv"]
+        for p in points:
+            assert p.max_pct("receiver") < 30.0
+            assert p.min_pct("receiver") < 20.0
+
+    def test_receiver_wait_high_and_flat(self, pipelined_points):
+        points = pipelined_points["send_irecv"]
+        waits = [p.wait_time("receiver") for p in points]
+        assert min(waits) > 1e-4
+        assert max(waits[1:]) / min(waits[1:]) < 1.5
+
+
+class TestFig7SendIrecvDirect:
+    """Zero overlap: the RTS is only detected on entering MPI_Wait."""
+
+    def test_receiver_zero_overlap(self, direct_points):
+        points = direct_points["send_irecv"]
+        for p in points:
+            assert p.max_pct("receiver") < 5.0
+            assert p.min_pct("receiver") < 5.0
+
+    def test_receiver_wait_unchanged_by_computation(self, direct_points):
+        points = direct_points["send_irecv"]
+        waits = [p.wait_time("receiver") for p in points]
+        assert min(waits) > 1e-3  # ~full transfer time spent waiting
+        assert max(waits) / min(waits) < 1.3
+
+    def test_pipelined_overlaps_first_fragment_direct_does_not(
+        self, direct_points, pipelined_points
+    ):
+        d = direct_points["send_irecv"][-1]
+        p = pipelined_points["send_irecv"][-1]
+        assert p.max_pct("receiver") > d.max_pct("receiver")
+
+
+class TestFig8Fig9IsendIrecv:
+    """Both sides non-blocking."""
+
+    def test_pipelined_sender_still_limited_to_first_fragment(self, pipelined_points):
+        points = pipelined_points["isend_irecv"]
+        maxes = [p.max_pct("sender") for p in points]
+        assert all(m < 30.0 for m in maxes)
+
+    def test_direct_sender_can_fully_overlap(self, direct_points):
+        # "the direct RDMA approach allows the possibility of complete
+        # overlap for the sender" -- the MAX bound reaches ~100%.  The MIN
+        # stays at zero because the receiver (also computing) only drains
+        # the RTS in its Wait, so the sender's FIN arrives while the sender
+        # itself sits in Wait.
+        points = direct_points["isend_irecv"]
+        assert points[-1].max_pct("sender") > 90.0
+        assert points[-1].min_pct("sender") < 10.0
+
+    def test_direct_receiver_detects_rts_only_in_wait(self, direct_points):
+        # Irecv posted before the RTS arrives; compute blinds the receiver;
+        # the read happens inside Wait -> no overlap (same as Fig 7).
+        points = direct_points["isend_irecv"]
+        for p in points[1:]:
+            assert p.max_pct("receiver") < 15.0
+
+
+class TestMvapich2Config:
+    def test_rendezvous_matches_direct_rdma_behaviour(self):
+        points = sweep("isend_recv", LONG, [0.0, 2.0e-3], mvapich2_like())
+        assert points[-1].max_pct("sender") > 90.0
+
+    def test_eager_threshold_lower_than_openmpi(self):
+        # 10 KB is eager for both; 32 KB is eager only for Open MPI.
+        om = sweep("isend_irecv", 32 * 1024, [1e-3], openmpi_like())
+        mv = sweep("isend_irecv", 32 * 1024, [1e-3], mvapich2_like())
+        # Open MPI eager receiver: case-3 only; MVAPICH2 rendezvous: not.
+        assert om[0].receiver.total.case_counts[3] > 0
+        assert mv[0].receiver.total.case_counts[3] == 0
+
+
+class TestPerfMain:
+    def test_one_way_time_matches_model(self):
+        params = NetworkParams(latency=10e-6, bandwidth=100e6,
+                               per_message_overhead=0.0)
+        t = measure_one_way_time(params, 1_000_000)
+        assert t == pytest.approx(10e-6 + 0.01, rel=1e-6)
+
+    def test_one_way_time_includes_per_message_overhead(self):
+        base = NetworkParams(latency=10e-6, bandwidth=100e6,
+                             per_message_overhead=0.0)
+        slow = NetworkParams(latency=10e-6, bandwidth=100e6,
+                             per_message_overhead=2e-6)
+        dt = measure_one_way_time(slow, 1000) - measure_one_way_time(base, 1000)
+        assert dt == pytest.approx(2e-6, rel=1e-6)
+
+    def test_build_table_roundtrip(self, tmp_path):
+        params = NetworkParams(per_message_overhead=0.0)
+        path = tmp_path / "xfer.tsv"
+        table = build_xfer_table(params, sizes=[1024.0, 65536.0], path=str(path))
+        from repro.core.xfer_table import XferTable
+
+        loaded = XferTable.load(path)
+        assert loaded == table
+        assert table.time_for(1024) == pytest.approx(params.transfer_time(1024))
+
+    def test_reps_validation(self):
+        with pytest.raises(ValueError):
+            measure_one_way_time(NetworkParams(), 100, reps=0)
+
+
+class TestSweepValidation:
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_sweep("recv_recv", 100, [0.0], MpiConfig())
+
+    def test_bad_iters_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_sweep("isend_irecv", 100, [0.0], MpiConfig(), iters=0)
+
+    def test_point_side_accessor(self):
+        points = overlap_sweep("isend_irecv", 100, [0.0], MpiConfig(), iters=2)
+        with pytest.raises(ValueError):
+            points[0].side("middle")

@@ -1,0 +1,195 @@
+"""Correctness tests for the collective operations (values and semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import MpiConfig
+from repro.runtime import run_app
+
+CFG = MpiConfig(name="t-coll", eager_limit=1 << 16)
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_barrier_synchronizes(nprocs):
+    def app(ctx):
+        # Rank r computes r ms, then the barrier; all must leave at >= the
+        # slowest rank's arrival time.
+        yield from ctx.compute(ctx.rank * 1e-3)
+        yield from ctx.comm.barrier()
+        assert ctx.now >= (ctx.size - 1) * 1e-3
+        return ctx.now
+
+    run_app(app, nprocs, config=CFG)
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_delivers_root_value(nprocs, root):
+    root_rank = nprocs - 1 if root == "last" else 0
+
+    def app(ctx):
+        value = {"payload": 42} if ctx.rank == root_rank else None
+        got = yield from ctx.comm.bcast(root_rank, 4096, value)
+        assert got == {"payload": 42}
+
+    run_app(app, nprocs, config=CFG)
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_reduce_sums_scalars(nprocs):
+    def app(ctx):
+        got = yield from ctx.comm.reduce(0, ctx.rank + 1, 8)
+        if ctx.rank == 0:
+            assert got == nprocs * (nprocs + 1) // 2
+        else:
+            assert got is None
+
+    run_app(app, nprocs, config=CFG)
+
+
+def test_reduce_nonzero_root():
+    def app(ctx):
+        got = yield from ctx.comm.reduce(2, ctx.rank, 8)
+        if ctx.rank == 2:
+            assert got == sum(range(ctx.size))
+        else:
+            assert got is None
+
+    run_app(app, 5, config=CFG)
+
+
+def test_reduce_with_numpy_arrays():
+    def app(ctx):
+        contrib = np.full(16, float(ctx.rank))
+        got = yield from ctx.comm.reduce(0, contrib, contrib.nbytes)
+        if ctx.rank == 0:
+            np.testing.assert_allclose(got, np.full(16, sum(range(ctx.size))))
+
+    run_app(app, 4, config=CFG)
+
+
+def test_reduce_custom_op_max():
+    def app(ctx):
+        got = yield from ctx.comm.reduce(0, ctx.rank * 7 % 5, 8, op=max)
+        if ctx.rank == 0:
+            assert got == max(r * 7 % 5 for r in range(ctx.size))
+
+    run_app(app, 6, config=CFG)
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_allreduce_everyone_gets_sum(nprocs):
+    def app(ctx):
+        got = yield from ctx.comm.allreduce(2 ** ctx.rank, 8)
+        assert got == 2**nprocs - 1
+
+    run_app(app, nprocs, config=CFG)
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_alltoall_personalized_blocks(nprocs):
+    def app(ctx):
+        blocks = [f"{ctx.rank}->{dst}" for dst in range(ctx.size)]
+        got = yield from ctx.comm.alltoall(1024, blocks)
+        assert got == [f"{src}->{ctx.rank}" for src in range(ctx.size)]
+
+    run_app(app, nprocs, config=CFG)
+
+
+def test_alltoallv_variable_sizes():
+    def app(ctx):
+        sizes = [100 * (dst + 1) for dst in range(ctx.size)]
+        blocks = [(ctx.rank, dst) for dst in range(ctx.size)]
+        got = yield from ctx.comm.alltoallv(sizes, blocks)
+        assert got == [(src, ctx.rank) for src in range(ctx.size)]
+
+    run_app(app, 4, config=CFG)
+
+
+def test_alltoallv_validates_lengths():
+    def app(ctx):
+        yield from ctx.comm.alltoallv([1], None)
+
+    with pytest.raises(ValueError):
+        run_app(app, 3, config=CFG)
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_allgather_collects_everything_everywhere(nprocs):
+    def app(ctx):
+        got = yield from ctx.comm.allgather(512, ctx.rank * 11)
+        assert got == [r * 11 for r in range(ctx.size)]
+
+    run_app(app, nprocs, config=CFG)
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_gather_at_root(nprocs):
+    def app(ctx):
+        got = yield from ctx.comm.gather(0, 256, chr(65 + ctx.rank))
+        if ctx.rank == 0:
+            assert got == [chr(65 + r) for r in range(ctx.size)]
+        else:
+            assert got is None
+
+    run_app(app, nprocs, config=CFG)
+
+
+@pytest.mark.parametrize("nprocs", SIZES)
+def test_scatter_from_root(nprocs):
+    def app(ctx):
+        blocks = [r * r for r in range(ctx.size)] if ctx.rank == 1 % ctx.size else None
+        got = yield from ctx.comm.scatter(1 % ctx.size, 256, blocks)
+        assert got == ctx.rank * ctx.rank
+
+    run_app(app, nprocs, config=CFG)
+
+
+def test_scatter_validates_block_count():
+    def app(ctx):
+        blocks = [1] if ctx.rank == 0 else None
+        yield from ctx.comm.scatter(0, 64, blocks)
+
+    with pytest.raises(ValueError):
+        run_app(app, 3, config=CFG)
+
+
+def test_consecutive_collectives_do_not_cross_match():
+    # Two bcasts back-to-back with different roots and values.
+    def app(ctx):
+        a = yield from ctx.comm.bcast(0, 128, "first" if ctx.rank == 0 else None)
+        b = yield from ctx.comm.bcast(
+            ctx.size - 1, 128, "second" if ctx.rank == ctx.size - 1 else None
+        )
+        assert (a, b) == ("first", "second")
+
+    run_app(app, 6, config=CFG)
+
+
+def test_collective_transfers_are_case1_zero_overlap():
+    # Long-message alltoall: all data movement inside one call -> the
+    # paper's FT behaviour (no overlap possible).
+    config = MpiConfig(name="t-a2a", eager_limit=1024, rndv_mode="rget")
+
+    def app(ctx):
+        yield from ctx.comm.alltoall(200_000)
+
+    result = run_app(app, 4, config=config)
+    rep = result.report(0)
+    assert rep.total.max_overlap_time == 0.0
+    assert rep.total.case_counts[2] == 0
+
+
+def test_collectives_mixed_with_p2p():
+    def app(ctx):
+        total = yield from ctx.comm.allreduce(1, 8)
+        assert total == ctx.size
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, 77, 2048, data="mix")
+        elif ctx.rank == 1:
+            _, data = yield from ctx.comm.recv(0, 77)
+            assert data == "mix"
+        yield from ctx.comm.barrier()
+
+    run_app(app, 4, config=CFG)

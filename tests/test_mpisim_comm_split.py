@@ -1,0 +1,156 @@
+"""Tests for sub-communicators (MPI_Comm_split / MPI_Comm_dup) and
+context isolation."""
+
+import pytest
+
+from repro.mpisim import MpiConfig
+from repro.mpisim.status import ANY_SOURCE, ANY_TAG, MpiError
+from repro.runtime import run_app
+
+CFG = MpiConfig(name="t-split")
+
+
+class TestSplitBasics:
+    def test_even_odd_split_ranks_and_sizes(self):
+        def app(ctx):
+            sub = yield from ctx.comm.split(color=ctx.rank % 2)
+            assert sub.size == ctx.size // 2 + (ctx.size % 2) * (1 - ctx.rank % 2)
+            # Group ranks are ordered by world rank within each color.
+            expected_rank = ctx.rank // 2
+            assert sub.rank == expected_rank
+
+        run_app(app, 6, config=CFG)
+
+    def test_key_reorders_new_ranks(self):
+        def app(ctx):
+            # Reverse ordering via key.
+            sub = yield from ctx.comm.split(color=0, key=-ctx.rank)
+            assert sub.rank == ctx.size - 1 - ctx.rank
+
+        run_app(app, 4, config=CFG)
+
+    def test_undefined_color_returns_none(self):
+        def app(ctx):
+            color = 0 if ctx.rank == 0 else None
+            sub = yield from ctx.comm.split(color)
+            if ctx.rank == 0:
+                assert sub is not None and sub.size == 1
+            else:
+                assert sub is None
+
+        run_app(app, 3, config=CFG)
+
+    def test_world_rank_out_of_range_in_subcomm(self):
+        def app(ctx):
+            sub = yield from ctx.comm.split(color=ctx.rank % 2)
+            with pytest.raises(MpiError):
+                yield from sub.isend(sub.size, 1, 8)
+
+        run_app(app, 4, config=CFG)
+
+
+class TestSubcommCommunication:
+    def test_p2p_uses_group_ranks(self):
+        def app(ctx):
+            # Colors {0,2} and {1,3}; inside each, rank 0 sends to rank 1.
+            sub = yield from ctx.comm.split(color=ctx.rank % 2)
+            if sub.rank == 0:
+                yield from sub.send(1, 5, 64, data=("hello", ctx.rank))
+            else:
+                status, data = yield from sub.recv(0, 5)
+                assert status.source == 0  # group numbering
+                assert data[0] == "hello"
+                assert data[1] == ctx.rank - 2  # world sender
+
+        run_app(app, 4, config=CFG)
+
+    def test_collectives_scoped_to_group(self):
+        def app(ctx):
+            sub = yield from ctx.comm.split(color=ctx.rank % 2)
+            total = yield from sub.allreduce(ctx.rank, 8)
+            same_color = [r for r in range(ctx.size) if r % 2 == ctx.rank % 2]
+            assert total == sum(same_color)
+            # Concurrent collectives in disjoint groups do not interfere.
+            got = yield from sub.allgather(8, ctx.rank)
+            assert got == same_color
+
+        run_app(app, 8, config=CFG)
+
+    def test_context_isolation_same_tag(self):
+        """The same (source, tag) in parent and child must not cross-match."""
+
+        def app(ctx):
+            sub = yield from ctx.comm.split(color=0)  # same group, new ctx
+            if ctx.rank == 0:
+                yield from ctx.comm.send(1, 7, 64, data="world")
+                yield from sub.send(1, 7, 64, data="sub")
+            elif ctx.rank == 1:
+                # Receive from the sub-communicator FIRST: it must get the
+                # sub message even though the world message arrived first.
+                _, sub_data = yield from sub.recv(0, 7)
+                assert sub_data == "sub"
+                _, world_data = yield from ctx.comm.recv(0, 7)
+                assert world_data == "world"
+            yield from ctx.comm.barrier()
+
+        run_app(app, 2, config=CFG)
+
+    def test_wildcard_recv_confined_to_communicator(self):
+        def app(ctx):
+            sub = yield from ctx.comm.split(color=0)
+            if ctx.rank == 0:
+                yield from ctx.comm.send(1, 1, 64, data="world-msg")
+                yield from ctx.comm.barrier()
+            elif ctx.rank == 1:
+                yield from ctx.comm.barrier()  # world msg queued unexpected
+                found = yield from sub.iprobe(ANY_SOURCE, ANY_TAG)
+                assert found is None  # invisible in the sub context
+                yield from ctx.comm.recv(0, 1)
+            else:
+                yield from ctx.comm.barrier()
+
+        run_app(app, 3, config=CFG)
+
+    def test_nested_split(self):
+        def app(ctx):
+            half = yield from ctx.comm.split(color=ctx.rank // 4)
+            quarter = yield from half.split(color=half.rank // 2)
+            assert quarter.size == 2
+            total = yield from quarter.allreduce(1, 8)
+            assert total == 2
+
+        run_app(app, 8, config=CFG)
+
+
+class TestDup:
+    def test_dup_preserves_shape_changes_context(self):
+        def app(ctx):
+            clone = yield from ctx.comm.dup()
+            assert clone.size == ctx.size
+            assert clone.rank == ctx.rank
+            assert clone.comm_id != ctx.comm.comm_id
+            total = yield from clone.allreduce(2, 8)
+            assert total == 2 * ctx.size
+
+        run_app(app, 4, config=CFG)
+
+    def test_sibling_splits_have_distinct_contexts(self):
+        def app(ctx):
+            a = yield from ctx.comm.split(color=0)
+            b = yield from ctx.comm.split(color=0)
+            assert a.comm_id != b.comm_id
+
+        run_app(app, 2, config=CFG)
+
+
+class TestGroupValidation:
+    def test_constructing_comm_without_membership_rejected(self):
+        def app(ctx):
+            from repro.mpisim.communicator import Comm
+
+            if ctx.rank == 0:
+                with pytest.raises(MpiError):
+                    Comm(ctx.endpoint, group=(1,), comm_id=5)
+            yield from ctx.comm.barrier()
+
+        run_app(app, 2, config=CFG)

@@ -1,0 +1,187 @@
+"""Tests for the extended MPI API: waitany/waitsome/testall/cancel,
+scan, and reduce_scatter."""
+
+import pytest
+
+from repro.mpisim import MpiConfig
+from repro.mpisim.status import MpiError
+from repro.runtime import run_app
+
+CFG = MpiConfig(name="t-ext")
+
+
+class TestWaitAnySome:
+    def test_waitany_returns_first_completed_index(self):
+        def app(ctx):
+            if ctx.rank == 0:
+                # Rank 2's message is sent late: rank 1's completes first.
+                fast = yield from ctx.comm.irecv(1, 1)
+                slow = yield from ctx.comm.irecv(2, 2)
+                idx = yield from ctx.comm.waitany([slow, fast])
+                assert idx == 1  # 'fast' sits at index 1
+                yield from ctx.comm.waitall([slow, fast])
+            elif ctx.rank == 1:
+                yield from ctx.comm.send(0, 1, 64)
+            else:
+                yield from ctx.compute(5e-3)
+                yield from ctx.comm.send(0, 2, 64)
+
+        run_app(app, 3, config=CFG)
+
+    def test_waitany_prefers_lowest_index_when_several_done(self):
+        def app(ctx):
+            if ctx.rank == 0:
+                yield from ctx.compute(2e-3)  # let both messages arrive
+                r1 = yield from ctx.comm.irecv(1, 1)
+                r2 = yield from ctx.comm.irecv(1, 2)
+                yield from ctx.comm.waitall([r1, r2])
+                idx = yield from ctx.comm.waitany([r1, r2])
+                assert idx == 0
+            else:
+                yield from ctx.comm.send(0, 1, 64)
+                yield from ctx.comm.send(0, 2, 64)
+
+        run_app(app, 2, config=CFG)
+
+    def test_waitsome_returns_all_completed(self):
+        def app(ctx):
+            if ctx.rank == 0:
+                r1 = yield from ctx.comm.irecv(1, 1)
+                r2 = yield from ctx.comm.irecv(1, 2)
+                yield from ctx.compute(2e-3)  # both arrive during compute
+                done = yield from ctx.comm.waitsome([r1, r2])
+                assert done == [0, 1]
+            else:
+                yield from ctx.comm.send(0, 1, 64)
+                yield from ctx.comm.send(0, 2, 64)
+
+        run_app(app, 2, config=CFG)
+
+    def test_empty_request_list_rejected(self):
+        def app(ctx):
+            yield from ctx.comm.waitany([])
+
+        with pytest.raises(MpiError):
+            run_app(app, 1, config=CFG)
+
+
+class TestTestallCancel:
+    def test_testall_polls_and_reports(self):
+        def app(ctx):
+            if ctx.rank == 0:
+                r1 = yield from ctx.comm.irecv(1, 1)
+                r2 = yield from ctx.comm.irecv(1, 2)
+                done = yield from ctx.comm.testall([r1, r2])
+                assert done is False  # nothing can have arrived at t=0
+                yield from ctx.compute(2e-3)
+                while not (yield from ctx.comm.testall([r1, r2])):
+                    yield from ctx.compute(1e-4)
+            else:
+                yield from ctx.comm.send(0, 1, 64)
+                yield from ctx.comm.send(0, 2, 64)
+
+        run_app(app, 2, config=CFG)
+
+    def test_cancel_unmatched_recv_succeeds(self):
+        def app(ctx):
+            req = yield from ctx.comm.irecv(source=ctx.rank, tag=99)
+            ok = yield from ctx.comm.cancel(req)
+            assert ok is True
+            assert req.done and req.cancelled
+
+        run_app(app, 1, config=CFG)
+
+    def test_cancel_matched_recv_fails(self):
+        def app(ctx):
+            if ctx.rank == 0:
+                req = yield from ctx.comm.irecv(1, 5)
+                yield from ctx.compute(2e-3)  # message arrives & matches
+                yield from ctx.comm.wait(req)
+                ok = yield from ctx.comm.cancel(req)
+                assert ok is False
+                assert not req.cancelled
+            else:
+                yield from ctx.comm.send(0, 5, 64)
+
+        run_app(app, 2, config=CFG)
+
+    def test_cancel_send_rejected(self):
+        # A rendezvous send is still in flight (receiver posts late), so
+        # the cancel hits the kind check and must be refused.
+        config = MpiConfig(name="t-cancel", eager_limit=1024, rndv_mode="rget")
+
+        def app(ctx):
+            if ctx.rank == 0:
+                req = yield from ctx.comm.isend(1, 1, 100_000)
+                yield from ctx.comm.cancel(req)
+            else:
+                yield from ctx.compute(5e-3)
+                yield from ctx.comm.recv(0, 1)
+
+        with pytest.raises(MpiError, match="only receive"):
+            run_app(app, 2, config=config)
+
+    def test_cancel_completed_send_returns_false(self):
+        # An eager send buffers and completes immediately; cancelling a
+        # complete request is a no-op returning False (any kind).
+        def app(ctx):
+            if ctx.rank == 0:
+                req = yield from ctx.comm.isend(1, 1, 64)
+                assert req.done
+                ok = yield from ctx.comm.cancel(req)
+                assert ok is False
+            else:
+                yield from ctx.comm.recv(0, 1)
+
+        run_app(app, 2, config=CFG)
+
+    def test_cancelled_recv_never_matches_later_message(self):
+        def app(ctx):
+            if ctx.rank == 0:
+                doomed = yield from ctx.comm.irecv(1, 5)
+                ok = yield from ctx.comm.cancel(doomed)
+                assert ok
+                # A fresh receive must get the message instead.
+                status, data = yield from ctx.comm.recv(1, 5)
+                assert data == "payload"
+            else:
+                yield from ctx.compute(1e-3)
+                yield from ctx.comm.send(0, 5, 64, data="payload")
+
+        run_app(app, 2, config=CFG)
+
+
+class TestScan:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 5, 8])
+    def test_inclusive_prefix_sum(self, nprocs):
+        def app(ctx):
+            got = yield from ctx.comm.scan(ctx.rank + 1, 8)
+            assert got == sum(range(1, ctx.rank + 2))
+
+        run_app(app, nprocs, config=CFG)
+
+    def test_scan_custom_op(self):
+        def app(ctx):
+            got = yield from ctx.comm.scan(ctx.rank, 8, op=max)
+            assert got == ctx.rank  # max of 0..rank
+
+        run_app(app, 5, config=CFG)
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 5])
+    def test_each_rank_gets_its_reduced_block(self, nprocs):
+        def app(ctx):
+            blocks = [(ctx.rank + 1) * (dst + 1) for dst in range(ctx.size)]
+            got = yield from ctx.comm.reduce_scatter(blocks, 1024)
+            expect = sum((src + 1) * (ctx.rank + 1) for src in range(ctx.size))
+            assert got == expect
+
+        run_app(app, nprocs, config=CFG)
+
+    def test_block_count_validated(self):
+        def app(ctx):
+            yield from ctx.comm.reduce_scatter([1], 64)
+
+        with pytest.raises(ValueError):
+            run_app(app, 3, config=CFG)

@@ -1,0 +1,103 @@
+"""Unit tests for tag/source matching queues."""
+
+from repro.mpisim.matching import MatchingEngine, UnexpectedMsg
+from repro.mpisim.request import Request
+from repro.mpisim.status import ANY_SOURCE, ANY_TAG
+
+
+def _recv(source, tag):
+    return Request("recv", source, 0, tag, 0.0)
+
+
+def _msg(src, tag, seq=0, kind="eager", nbytes=8.0):
+    return UnexpectedMsg(kind, seq, src, tag, nbytes, None, 0.0)
+
+
+def test_post_recv_with_no_arrivals_queues():
+    m = MatchingEngine()
+    assert m.post_recv(_recv(1, 5)) is None
+    assert m.posted_count == 1
+
+
+def test_arrival_matches_posted_in_fifo_order():
+    m = MatchingEngine()
+    r1, r2 = _recv(1, 5), _recv(1, 5)
+    m.post_recv(r1)
+    m.post_recv(r2)
+    assert m.match_arrival(1, 5) is r1
+    assert m.match_arrival(1, 5) is r2
+    assert m.match_arrival(1, 5) is None
+
+
+def test_unexpected_consumed_in_fifo_order():
+    m = MatchingEngine()
+    m.add_unexpected(_msg(1, 5, seq=1))
+    m.add_unexpected(_msg(1, 5, seq=2))
+    assert m.post_recv(_recv(1, 5)).seq == 1
+    assert m.post_recv(_recv(1, 5)).seq == 2
+    assert m.unexpected_count == 2
+    assert m.unexpected_pending == 0
+
+
+def test_wildcard_source_matches_any():
+    m = MatchingEngine()
+    r = _recv(ANY_SOURCE, 5)
+    m.post_recv(r)
+    assert m.match_arrival(3, 5) is r
+
+
+def test_wildcard_tag_matches_any():
+    m = MatchingEngine()
+    r = _recv(2, ANY_TAG)
+    m.post_recv(r)
+    assert m.match_arrival(2, 99) is r
+
+
+def test_specific_recv_skips_wrong_source():
+    m = MatchingEngine()
+    m.post_recv(_recv(1, 5))
+    assert m.match_arrival(2, 5) is None
+    assert m.posted_count == 1
+
+
+def test_specific_recv_skips_wrong_tag():
+    m = MatchingEngine()
+    m.add_unexpected(_msg(1, 7))
+    assert m.post_recv(_recv(1, 5)) is None
+    assert m.unexpected_pending == 1
+
+
+def test_posted_scan_respects_order_with_wildcards():
+    # Oldest matching posted recv wins, even if a later one is more specific.
+    m = MatchingEngine()
+    wild = _recv(ANY_SOURCE, ANY_TAG)
+    spec = _recv(1, 5)
+    m.post_recv(wild)
+    m.post_recv(spec)
+    assert m.match_arrival(1, 5) is wild
+
+
+def test_peek_does_not_consume():
+    m = MatchingEngine()
+    m.add_unexpected(_msg(1, 5))
+    assert m.peek(1, 5) is not None
+    assert m.peek(ANY_SOURCE, ANY_TAG) is not None
+    assert m.peek(2, 5) is None
+    assert m.unexpected_pending == 1
+
+
+def test_cancel_recv():
+    m = MatchingEngine()
+    r = _recv(1, 5)
+    m.post_recv(r)
+    assert m.cancel_recv(r) is True
+    assert m.cancel_recv(r) is False
+    assert m.match_arrival(1, 5) is None
+
+
+def test_rts_and_eager_share_matching_order():
+    m = MatchingEngine()
+    m.add_unexpected(_msg(1, 5, seq=1, kind="rts"))
+    m.add_unexpected(_msg(1, 5, seq=2, kind="eager"))
+    first = m.post_recv(_recv(1, 5))
+    assert first.kind == "rts" and first.seq == 1

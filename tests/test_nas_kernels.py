@@ -1,0 +1,276 @@
+"""Tests for the NAS kernels: they run, verify, and communicate as
+described (message mix, partners, per-benchmark overlap character)."""
+
+import pytest
+
+from repro.armci import ArmciConfig, run_armci_app
+from repro.mpisim.config import mvapich2_like, openmpi_like
+from repro.nas.base import CpuModel, cg_proc_grid, square_grid_side, two_d_grid
+from repro.nas.bt import bt_app
+from repro.nas.cg import cg_app, transpose_partner
+from repro.nas.classes import CLASSES, problem
+from repro.nas.ep import ep_app
+from repro.nas.ft import ft_app
+from repro.nas.is_ import is_app
+from repro.nas.lu import lu_app
+from repro.nas.mg import mg_app, mg_proc_grid
+from repro.nas.sp import OVERLAP_SECTION, sp_app
+from repro.runtime import run_app
+
+FAST_CPU = CpuModel(flop_rate=50e9)  # shrink compute so tests run quickly
+
+
+class TestClassesTable:
+    def test_all_benchmarks_have_four_classes(self):
+        for bench, table in CLASSES.items():
+            assert set(table) == {"S", "W", "A", "B"}, bench
+
+    def test_problem_lookup_and_errors(self):
+        pc = problem("cg", "a")
+        assert pc.dims[0] == 14000
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            problem("xx", "A")
+        with pytest.raises(ValueError, match="unknown class"):
+            problem("cg", "Z")
+
+    def test_grid_points(self):
+        assert problem("ft", "S").grid_points == 64**3
+        assert problem("cg", "S").grid_points == 1400 * 7
+
+
+class TestGridHelpers:
+    def test_square_grid(self):
+        assert square_grid_side(9) == 3
+        with pytest.raises(ValueError):
+            square_grid_side(8)
+
+    def test_two_d_grid(self):
+        assert two_d_grid(4) == (2, 2)
+        assert two_d_grid(8) == (2, 4)
+        assert two_d_grid(6) == (2, 3)
+
+    def test_cg_proc_grid(self):
+        assert cg_proc_grid(4) == (2, 2)
+        assert cg_proc_grid(8) == (2, 4)
+        assert cg_proc_grid(16) == (4, 4)
+        with pytest.raises(ValueError):
+            cg_proc_grid(6)
+
+    def test_cg_transpose_partner_is_involution(self):
+        for rows, cols in [(2, 2), (2, 4), (4, 4), (4, 8)]:
+            size = rows * cols
+            partners = [transpose_partner(r, rows, cols) for r in range(size)]
+            assert sorted(partners) == list(range(size))
+            for r in range(size):
+                assert transpose_partner(partners[r], rows, cols) == r
+
+    def test_mg_proc_grid(self):
+        assert mg_proc_grid(8) == (2, 2, 2)
+        assert mg_proc_grid(4) == (2, 2, 1)
+        assert mg_proc_grid(16) == (4, 2, 2)
+        with pytest.raises(ValueError):
+            mg_proc_grid(6)
+
+    def test_cpu_model(self):
+        cpu = CpuModel(flop_rate=1e9)
+        assert cpu.time_for(1e6) == pytest.approx(1e-3)
+        with pytest.raises(ValueError):
+            cpu.time_for(-1)
+        with pytest.raises(ValueError):
+            CpuModel(flop_rate=0)
+
+
+class TestCg:
+    @pytest.mark.parametrize("nprocs", [2, 4, 8])
+    def test_runs_and_verifies(self, nprocs):
+        result = run_app(
+            cg_app, nprocs, config=openmpi_like(),
+            app_args=("S", 2, FAST_CPU, 3),
+        )
+        assert len(set(result.returns)) == 1  # all ranks agree
+
+    def test_short_messages_dominate_count(self):
+        result = run_app(
+            cg_app, 4, config=openmpi_like(), app_args=("S", 2, FAST_CPU, 5)
+        )
+        bins = result.report(0).total.bins.bins
+        short = sum(b.count for b in bins[:2])
+        long_ = sum(b.count for b in bins[2:])
+        assert short > long_
+
+    def test_larger_class_longer_messages(self):
+        small = run_app(cg_app, 4, config=openmpi_like(), app_args=("S", 1, FAST_CPU, 3))
+        big = run_app(cg_app, 4, config=openmpi_like(), app_args=("B", 1, FAST_CPU, 3))
+        max_bytes_small = max(
+            b.bytes / b.count for b in small.report(0).total.bins.bins if b.count
+        )
+        max_bytes_big = max(
+            b.bytes / b.count for b in big.report(0).total.bins.bins if b.count
+        )
+        assert max_bytes_big > max_bytes_small
+
+
+class TestBt:
+    @pytest.mark.parametrize("nprocs", [4, 9])
+    def test_runs_and_verifies(self, nprocs):
+        result = run_app(
+            bt_app, nprocs, config=openmpi_like(), app_args=("S", 2, FAST_CPU)
+        )
+        assert result.returns[0] == nprocs * (nprocs + 1) / 2
+
+    def test_requires_square_rank_count(self):
+        with pytest.raises(ValueError, match="square"):
+            run_app(bt_app, 8, config=openmpi_like(), app_args=("S", 1, FAST_CPU))
+
+    def test_long_messages_dominate_bytes(self):
+        result = run_app(
+            bt_app, 4, config=openmpi_like(), app_args=("A", 2, FAST_CPU)
+        )
+        bins = result.report(0).total.bins.bins
+        short_bytes = sum(b.bytes for b in bins[:2])
+        long_bytes = sum(b.bytes for b in bins[2:])
+        assert long_bytes > short_bytes
+
+
+class TestLu:
+    def test_runs_and_verifies(self):
+        result = run_app(
+            lu_app, 4, config=mvapich2_like(), app_args=("S", 2, FAST_CPU, 6)
+        )
+        assert len(set(result.returns)) == 1
+
+    def test_mixed_message_sizes(self):
+        result = run_app(
+            lu_app, 4, config=mvapich2_like(), app_args=("A", 1, FAST_CPU, 16)
+        )
+        bins = result.report(0).total.bins.bins
+        assert sum(b.count for b in bins[:2]) > 0  # wavefront pencils
+        assert sum(b.count for b in bins[2:]) > 0  # exchange_3 faces
+
+    def test_high_overlap_character(self):
+        # Short messages dominate -> max overlap above 70% (paper Fig. 12).
+        result = run_app(
+            lu_app, 4, config=mvapich2_like(), app_args=("S", 2, None, 12)
+        )
+        assert result.report(0).total.max_overlap_pct > 70.0
+
+
+class TestFt:
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_runs_and_verifies(self, nprocs):
+        result = run_app(
+            ft_app, nprocs, config=mvapich2_like(), app_args=("S", 2, FAST_CPU)
+        )
+        assert result.returns[0] == sum(range(1, nprocs + 1)) * 2
+
+    def test_low_overlap_character(self):
+        # Alltoall long transfers get no overlap; only the small collective
+        # messages contribute (paper Fig. 13).
+        result = run_app(
+            ft_app, 4, config=mvapich2_like(), app_args=("A", 2, None)
+        )
+        rep = result.report(0)
+        assert rep.total.max_overlap_pct < 30.0
+        assert rep.total.min_overlap_pct < 5.0
+
+    def test_alltoall_dominates_bytes(self):
+        result = run_app(
+            ft_app, 4, config=mvapich2_like(), app_args=("S", 2, FAST_CPU)
+        )
+        bins = result.report(0).total.bins.bins
+        long_bytes = sum(b.bytes for b in bins[2:])
+        assert long_bytes > 0.9 * sum(b.bytes for b in bins)
+
+
+class TestSp:
+    def test_runs_and_verifies_original_and_modified(self):
+        for modified in (False, True):
+            result = run_app(
+                sp_app, 4, config=mvapich2_like(),
+                app_args=("S", 2, FAST_CPU, modified),
+            )
+            assert result.returns[0] == 10.0
+
+    def test_overlap_section_reported(self):
+        result = run_app(
+            sp_app, 4, config=mvapich2_like(), app_args=("S", 1, FAST_CPU)
+        )
+        rep = result.report(0)
+        assert OVERLAP_SECTION in rep.sections
+        assert rep.sections[OVERLAP_SECTION].transfer_count > 0
+
+    def test_iprobe_modification_improves_section_overlap(self):
+        # The paper's Sec. 4.3 result, at test scale.
+        orig = run_app(
+            sp_app, 4, config=mvapich2_like(), app_args=("A", 2, None, False)
+        )
+        mod = run_app(
+            sp_app, 4, config=mvapich2_like(), app_args=("A", 2, None, True)
+        )
+        sec_o = orig.report(0).sections[OVERLAP_SECTION]
+        sec_m = mod.report(0).sections[OVERLAP_SECTION]
+        assert sec_m.max_overlap_pct > sec_o.max_overlap_pct + 20.0
+
+    def test_iprobe_modification_reduces_mpi_time(self):
+        orig = run_app(
+            sp_app, 4, config=mvapich2_like(), app_args=("A", 2, None, False)
+        )
+        mod = run_app(
+            sp_app, 4, config=mvapich2_like(), app_args=("A", 2, None, True)
+        )
+        assert mod.report(0).mpi_time < orig.report(0).mpi_time
+
+
+class TestMgArmci:
+    @pytest.mark.parametrize("nprocs", [4, 8])
+    def test_runs_and_verifies_both_variants(self, nprocs):
+        for blocking in (True, False):
+            result = run_armci_app(
+                mg_app, nprocs, config=ArmciConfig(),
+                app_args=("S", 1, FAST_CPU, blocking),
+            )
+            assert result.returns[0] == nprocs * (nprocs + 1) / 2
+
+    def test_nonblocking_overlaps_blocking_does_not(self):
+        blocking = run_armci_app(
+            mg_app, 8, config=ArmciConfig(), app_args=("A", 1, None, True)
+        )
+        nonblocking = run_armci_app(
+            mg_app, 8, config=ArmciConfig(), app_args=("A", 1, None, False)
+        )
+        b = blocking.report(0).total
+        nb = nonblocking.report(0).total
+        assert b.max_overlap_pct == 0.0
+        assert nb.max_overlap_pct > 90.0
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError, match="power of two"):
+            run_armci_app(mg_app, 6, app_args=("S", 1, FAST_CPU))
+
+
+class TestEpIs:
+    def test_ep_minimal_communication(self):
+        result = run_app(
+            ep_app, 4, config=openmpi_like(), app_args=("S", None, 1e-2)
+        )
+        rep = result.report(0)
+        # 3 allreduces worth of tiny transfers, nothing else.
+        assert rep.total.bins.bins[0].count == rep.total.transfer_count
+        assert rep.total.computation_time > 10 * rep.total.communication_call_time
+
+    def test_ep_sample_fraction_validation(self):
+        with pytest.raises(ValueError):
+            run_app(ep_app, 2, app_args=("S", FAST_CPU, 0.0))
+
+    def test_is_runs_and_verifies(self):
+        result = run_app(
+            is_app, 4, config=mvapich2_like(), app_args=("S", 2, FAST_CPU)
+        )
+        assert len(set(result.returns)) == 1
+
+    def test_is_behaves_like_ft(self):
+        # Low overlap: alltoallv dominated (paper omits IS for this reason).
+        result = run_app(
+            is_app, 4, config=mvapich2_like(), app_args=("A", 2, None)
+        )
+        assert result.report(0).total.max_overlap_pct < 30.0

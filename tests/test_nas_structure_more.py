@@ -1,0 +1,70 @@
+"""More structural formulas: non-trivial grids (SP at 9 ranks, LU at 8),
+where wrap-around and asymmetric decompositions kick in."""
+
+import pytest
+
+from repro.mpisim.config import mvapich2_like
+from repro.nas.base import CpuModel
+from repro.nas.lu import lu_app
+from repro.nas.sp import sp_app
+from repro.runtime import run_app
+
+FAST = CpuModel(flop_rate=100e9)
+
+
+def _counts(app, nprocs, args):
+    result = run_app(app, nprocs, config=mvapich2_like(), app_args=args)
+    return [result.report(r).total.transfer_count for r in range(nprocs)]
+
+
+class TestSpNineRanks:
+    """SP at P=9 (3x3 grid), rank 0:
+
+    copy_faces: 4 distinct periodic neighbours x (irecv + isend) = 8;
+    solves: 3 directions x 2 phases x (2 recvs + 2 sends per 3-stage
+    pipeline) = 24;
+    allreduce at root (P=9): binomial reduce receives from peers 1, 2, 4,
+    8 (4 recvs) + broadcast sends (4) = 8.
+    """
+
+    def test_rank0_formula(self):
+        counts = _counts(sp_app, 9, ("S", 1, FAST, False))
+        assert counts[0] == (8 + 24) + 8
+
+    def test_all_ranks_same_p2p_load(self):
+        # Multipartition symmetry: every rank moves the same p2p traffic;
+        # only the collective tree position differs (by at most 8).
+        counts = _counts(sp_app, 9, ("S", 1, FAST, False))
+        assert max(counts) - min(counts) <= 8
+
+    def test_linear_in_iterations(self):
+        one = _counts(sp_app, 9, ("S", 1, FAST, False))[0]
+        three = _counts(sp_app, 9, ("S", 3, FAST, False))[0]
+        assert three - one == 2 * (8 + 24)
+
+
+class TestLuEightRanks:
+    """LU at P=8 (2x4 grid), rank 0 (row 0, col 0), ``planes`` planes:
+
+    forward sweep: 2 sends per plane (south + east);
+    backward sweep: 2 recvs per plane;
+    exchange_3: 2 partners x 2 = 4;
+    allreduce at root (P=8): 3 recvs + 3 sends = 6.
+    """
+
+    @pytest.mark.parametrize("planes", [2, 5])
+    def test_rank0_formula(self, planes):
+        counts = _counts(lu_app, 8, ("S", 1, FAST, planes))
+        assert counts[0] == 4 * planes + 4 + 6
+
+    def test_interior_rank_has_more_neighbours(self):
+        # Rank 1 (row 0, col 1) has west+east+south: 3 exchange_3 partners
+        # and 3 pencils per wavefront direction pair.
+        planes = 3
+        counts = _counts(lu_app, 8, ("S", 1, FAST, planes))
+        # fwd: sends south+east+...: row0,col1: recv west (fwd), sends
+        # south+east; bwd: recvs south+east, send west.
+        # fwd per plane: 1 recv + 2 send; bwd: 2 recv + 1 send = 6/plane.
+        # exchange_3: 3 partners x 2 = 6; allreduce non-root member:
+        # position 1 sends once in reduce, receives once in bcast = 2.
+        assert counts[1] == 6 * planes + 6 + 2

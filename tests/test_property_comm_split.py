@@ -1,0 +1,45 @@
+"""Property tests for communicator splitting: partition laws and ordering."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.runtime import run_app
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.lists(st.integers(min_value=0, max_value=3), min_size=8, max_size=8),
+    st.lists(st.integers(min_value=-5, max_value=5), min_size=8, max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_split_partitions_and_orders(nprocs, colors, keys):
+    observed = {}
+
+    def app(ctx):
+        color = colors[ctx.rank]
+        key = keys[ctx.rank]
+        sub = yield from ctx.comm.split(color, key)
+        assert sub is not None
+        # Everyone in my group shares my color, in (key, world-rank) order.
+        members = yield from sub.allgather(8, (ctx.rank, color, key))
+        observed[ctx.rank] = (sub.rank, sub.size, members)
+        # My group rank is my position in the sorted member list.
+        ordering = sorted((k, w) for w, _c, k in members)
+        assert ordering[sub.rank][1] == ctx.rank
+        assert all(c == color for _w, c, _k in members)
+        # A sub-collective agrees with a direct computation.
+        total = yield from sub.allreduce(ctx.rank, 8)
+        assert total == sum(w for w, _c, _k in members)
+
+    run_app(app, nprocs)
+    # The groups partition the world exactly.
+    all_members = set()
+    for _rank, (_r, _s, members) in observed.items():
+        all_members.update(w for w, _c, _k in members)
+    assert all_members == set(range(nprocs))
+    # Sizes are consistent within each color.
+    by_color = {}
+    for rank, (r, s, members) in observed.items():
+        by_color.setdefault(colors[rank], set()).add(s)
+    for color, sizes in by_color.items():
+        assert len(sizes) == 1

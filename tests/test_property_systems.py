@@ -1,0 +1,231 @@
+"""Property-based tests for the substrate and library layers.
+
+Model-based checking of the matching engine against a naive reference,
+registration-cache resource bounds, simulation determinism, and
+MPI/collective correctness over randomized shapes.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.mpisim import MpiConfig
+from repro.mpisim.matching import MatchingEngine, UnexpectedMsg
+from repro.mpisim.request import Request
+from repro.mpisim.status import ANY_SOURCE, ANY_TAG
+from repro.netsim import NetworkParams, RegistrationCache
+from repro.runtime import run_app
+from repro.sim import Engine
+
+
+# ---------------------------------------------------------------------------
+# Matching engine vs a naive reference model
+# ---------------------------------------------------------------------------
+class _NaiveMatcher:
+    """Obviously correct O(n^2) reference for MPI matching semantics."""
+
+    def __init__(self):
+        self.posted = []
+        self.unexpected = []
+
+    @staticmethod
+    def _ok(want_src, want_tag, src, tag):
+        return want_src in (ANY_SOURCE, src) and want_tag in (ANY_TAG, tag)
+
+    def post_recv(self, want_src, want_tag, ident):
+        for i, (src, tag, mid) in enumerate(self.unexpected):
+            if self._ok(want_src, want_tag, src, tag):
+                del self.unexpected[i]
+                return ("matched-arrival", mid)
+        self.posted.append((want_src, want_tag, ident))
+        return ("queued", ident)
+
+    def arrive(self, src, tag, mid):
+        for i, (want_src, want_tag, ident) in enumerate(self.posted):
+            if self._ok(want_src, want_tag, src, tag):
+                del self.posted[i]
+                return ("matched-recv", ident)
+        self.unexpected.append((src, tag, mid))
+        return ("queued", mid)
+
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["post", "arrive"]),
+        st.integers(min_value=-1, max_value=3),  # source (-1 = wildcard)
+        st.integers(min_value=-1, max_value=3),  # tag (-1 = wildcard)
+    ),
+    max_size=60,
+)
+
+
+@given(_OPS)
+@settings(max_examples=200, deadline=None)
+def test_matching_engine_agrees_with_reference(ops):
+    engine = MatchingEngine()
+    naive = _NaiveMatcher()
+    ident = 0
+    for op, src, tag in ops:
+        ident += 1
+        if op == "post":
+            want_src = src  # may be ANY_SOURCE (-1)
+            want_tag = tag
+            req = Request("recv", want_src, 0, want_tag, 0.0)
+            req_outcome = engine.post_recv(req)
+            ref = naive.post_recv(want_src, want_tag, ident)
+            if ref[0] == "matched-arrival":
+                assert req_outcome is not None
+                assert req_outcome.seq == ref[1]
+            else:
+                assert req_outcome is None
+        else:
+            a_src = max(src, 0)  # arrivals have concrete source/tag
+            a_tag = max(tag, 0)
+            matched = engine.match_arrival(a_src, a_tag)
+            ref = naive.arrive(a_src, a_tag, ident)
+            if ref[0] == "matched-recv":
+                assert matched is not None
+            else:
+                assert matched is None
+                engine.add_unexpected(
+                    UnexpectedMsg("eager", ident, a_src, a_tag, 8.0, None, 0.0)
+                )
+    assert engine.posted_count == len(naive.posted)
+    assert engine.unexpected_pending == len(naive.unexpected)
+
+
+# ---------------------------------------------------------------------------
+# Registration cache resource bounds
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=9),
+                  st.floats(min_value=1, max_value=1e6, allow_nan=False)),
+        max_size=80,
+    ),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=150, deadline=None)
+def test_regcache_never_exceeds_limits(ops, max_entries):
+    cache = RegistrationCache(NetworkParams(), max_entries=max_entries,
+                              max_bytes=2e6)
+    for key, size in ops:
+        cost = cache.register(key, size)
+        assert cost >= 0.0
+        assert len(cache) <= max_entries
+        # Immediately re-registering the same region is always a hit.
+        assert cache.register(key, size) == 0.0
+    assert cache.pinned_bytes >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Simulation determinism
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4),
+                  st.floats(min_value=1e-6, max_value=1e-2, allow_nan=False)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=75, deadline=None)
+def test_engine_replay_is_identical(schedule):
+    def run():
+        eng = Engine()
+        trace = []
+
+        def worker(name, delays):
+            for d in delays:
+                yield eng.timeout(d)
+                trace.append((name, eng.now))
+
+        by_worker = {}
+        for worker_id, delay in schedule:
+            by_worker.setdefault(worker_id, []).append(delay)
+        for worker_id, delays in by_worker.items():
+            eng.process(worker(worker_id, delays))
+        eng.run()
+        return trace
+
+    assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# MPI layer properties over randomized shapes
+# ---------------------------------------------------------------------------
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=1 << 20),
+    st.sampled_from(["pipelined", "rget", "rput"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_p2p_roundtrip_any_size_any_protocol(nprocs, nbytes, rndv):
+    config = MpiConfig(name="prop", eager_limit=4096, rndv_mode=rndv,
+                       frag_size=8192)
+
+    def app(ctx):
+        if ctx.size == 1:
+            return 0
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, 3, nbytes, data=("blob", nbytes))
+        elif ctx.rank == 1:
+            status, data = yield from ctx.comm.recv(0, 3)
+            assert status.nbytes == nbytes
+            assert data == ("blob", nbytes)
+        return 0
+
+    result = run_app(app, nprocs, config=config)
+    if nprocs > 1:
+        for rank in (0, 1):
+            m = result.report(rank).total
+            assert 0.0 <= m.min_overlap_time <= m.max_overlap_time + 1e-12
+            assert m.max_overlap_time <= m.data_transfer_time + 1e-9
+
+
+@given(
+    st.integers(min_value=1, max_value=7),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=1, max_value=100_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_collectives_correct_over_random_shapes(nprocs, root_seed, nbytes):
+    root = root_seed % nprocs
+
+    def app(ctx):
+        value = yield from ctx.comm.bcast(root, nbytes,
+                                          "v" if ctx.rank == root else None)
+        assert value == "v"
+        total = yield from ctx.comm.allreduce(ctx.rank + 1, nbytes)
+        assert total == nprocs * (nprocs + 1) // 2
+        blocks = yield from ctx.comm.allgather(nbytes, ctx.rank)
+        assert blocks == list(range(nprocs))
+        return total
+
+    result = run_app(app, nprocs)
+    assert len(set(result.returns)) == 1
+
+
+@given(st.integers(min_value=2, max_value=5),
+       st.lists(st.integers(min_value=0, max_value=1 << 18),
+                min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_ordering_holds_for_mixed_protocol_bursts(nprocs, sizes):
+    """Non-overtaking must hold even when eager and rendezvous interleave."""
+    config = MpiConfig(name="mix", eager_limit=4096, rndv_mode="rget")
+
+    def app(ctx):
+        if ctx.rank == 0:
+            reqs = []
+            for i, size in enumerate(sizes):
+                reqs.append(
+                    (yield from ctx.comm.isend(1, 9, size, data=i))
+                )
+            yield from ctx.comm.waitall(reqs)
+        elif ctx.rank == 1:
+            for i, size in enumerate(sizes):
+                status, data = yield from ctx.comm.recv(0, 9)
+                assert data == i
+                assert status.nbytes == size
+
+    run_app(app, nprocs, config=config)

@@ -1,0 +1,47 @@
+"""Property test: for randomized workloads, the derived bounds always
+bracket the simulator's ground-truth overlap."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.experiments.validation import validate_bounds
+from repro.mpisim import MpiConfig
+from repro.runtime import run_app
+
+_STEP = st.tuples(
+    st.integers(min_value=64, max_value=1 << 20),  # message size
+    st.floats(min_value=0.0, max_value=2e-3, allow_nan=False),  # compute
+    st.booleans(),  # sender non-blocking?
+)
+
+
+@given(
+    st.lists(_STEP, min_size=1, max_size=10),
+    st.sampled_from(["pipelined", "rget", "rput"]),
+    st.integers(min_value=1024, max_value=65536),
+)
+@settings(max_examples=50, deadline=None)
+def test_bounds_always_bracket_ground_truth(steps, rndv, eager_limit):
+    config = MpiConfig(name="prop-val", eager_limit=eager_limit,
+                       rndv_mode=rndv, frag_size=32 * 1024,
+                       leave_pinned=True)
+
+    def app(ctx):
+        for nbytes, compute, nonblocking in steps:
+            if ctx.rank == 0:
+                if nonblocking:
+                    req = yield from ctx.comm.isend(1, 0, nbytes)
+                    yield from ctx.compute(compute)
+                    yield from ctx.comm.wait(req)
+                else:
+                    yield from ctx.comm.send(1, 0, nbytes)
+                    yield from ctx.compute(compute)
+            else:
+                req = yield from ctx.comm.irecv(0, 0)
+                yield from ctx.compute(compute / 2)
+                yield from ctx.comm.wait(req)
+
+    result = run_app(app, 2, config=config, record_transfers=True)
+    for check in validate_bounds(result):
+        assert check.min_holds, check
+        assert check.max_holds, check

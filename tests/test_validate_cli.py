@@ -1,0 +1,33 @@
+"""Tests for the ground-truth validation CLI."""
+
+from repro.tools import validate as validate_cli
+
+
+def test_micro_workload_passes(capsys):
+    rc = validate_cli.main([
+        "--workload", "micro", "--size", "1048576", "--compute", "1.5e-3",
+        "--iters", "10", "--library", "openmpi", "--leave-pinned",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "verdict" in out
+    assert "all bounds bracket the ground truth" in out
+    assert "VIOLATED" not in out
+
+
+def test_rput_library(capsys):
+    rc = validate_cli.main([
+        "--workload", "micro", "--size", "300000", "--compute", "1e-3",
+        "--iters", "5", "--library", "rput",
+    ])
+    assert rc == 0
+
+
+def test_sp_workload(capsys):
+    rc = validate_cli.main([
+        "--workload", "sp", "--klass", "S", "--np", "4", "--modified",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SP class S" in out
+    assert "modified" in out

@@ -1,0 +1,78 @@
+"""Benchmarks for the parallel, cached sweep runner.
+
+Two claims are measured:
+
+* a cold sweep fanned over a process pool beats the serial sweep when
+  cores are available (the speedup assertion is gated on ``cpu_count``,
+  so single-core CI still runs the correctness half);
+* a warm rerun is served entirely from the on-disk cache -- identical
+  reports, zero simulation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.micro import overlap_sweep
+from repro.experiments.runner import ResultCache, overlap_sweep_parallel
+from repro.mpisim.config import mvapich2_like
+
+PATTERN = "isend_recv"
+NBYTES = 256 * 1024.0
+COMPUTES = [0.0, 2e-4, 4e-4, 6e-4, 8e-4, 1e-3, 1.2e-3, 1.4e-3]
+ITERS = 30
+
+
+def _dicts(points):
+    return [(p.compute_time, p.sender.to_dict(), p.receiver.to_dict())
+            for p in points]
+
+
+def test_warm_cache_rerun_is_identical_and_fast(benchmark, tmp_path):
+    """Cold once to fill the cache, then benchmark the all-hits rerun."""
+    cfg = mvapich2_like()
+    root = tmp_path / "cache"
+    cold_cache = ResultCache(root)
+    cold = overlap_sweep_parallel(
+        PATTERN, NBYTES, COMPUTES, cfg, iters=ITERS, cache=cold_cache)
+    assert cold_cache.misses == len(COMPUTES)
+
+    def warm_run():
+        cache = ResultCache(root)
+        points = overlap_sweep_parallel(
+            PATTERN, NBYTES, COMPUTES, cfg, iters=ITERS, cache=cache)
+        return points, cache
+
+    warm, cache = benchmark(warm_run)
+    # Entirely served from cache, bit-identical to the cold results.
+    assert (cache.hits, cache.misses) == (len(COMPUTES), 0)
+    assert _dicts(warm) == _dicts(cold)
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="parallel speedup needs >= 4 cores")
+def test_cold_parallel_sweep_beats_serial(benchmark, tmp_path):
+    """jobs=4 on a cold cache vs the plain serial sweep."""
+    cfg = mvapich2_like()
+
+    t0 = time.perf_counter()
+    serial = overlap_sweep(PATTERN, NBYTES, COMPUTES, cfg, iters=ITERS)
+    serial_s = time.perf_counter() - t0
+
+    def cold_parallel():
+        cache = ResultCache(tmp_path / f"c{time.monotonic_ns()}")
+        return overlap_sweep_parallel(
+            PATTERN, NBYTES, COMPUTES, cfg, iters=ITERS, jobs=4, cache=cache)
+
+    parallel = benchmark.pedantic(cold_parallel, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.mean
+    assert _dicts(parallel) == _dicts(serial)
+    # 4 workers over 8 independent points: expect close to 4x; assert a
+    # conservative 2x so loaded CI machines do not flake.
+    assert serial_s / parallel_s >= 2.0, (
+        f"parallel sweep not faster: serial {serial_s:.2f}s vs "
+        f"jobs=4 {parallel_s:.2f}s"
+    )

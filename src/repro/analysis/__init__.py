@@ -12,6 +12,7 @@ from repro.analysis.tables import (
 from repro.analysis.textplot import ascii_plot
 from repro.analysis.traffic import (
     message_counts,
+    modeled_time_matrix,
     render_traffic_matrix,
     traffic_matrix,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "ascii_plot",
     "interpret",
     "message_counts",
+    "modeled_time_matrix",
     "render_interpretation",
     "render_traffic_matrix",
     "traffic_matrix",

@@ -31,6 +31,7 @@ from repro.core.measures import OverlapMeasures, SizeBins
 from repro.core.monitor import Monitor
 from repro.core.peruse import PeruseHub, PeruseSubscription
 from repro.core.processor import DataProcessor
+from repro.core.processor_reference import ReferenceDataProcessor
 from repro.core.report import OverlapReport, aggregate_reports
 from repro.core.trace import TraceSink, replay_overlap
 from repro.core.xfer_table import XferTable
@@ -45,6 +46,7 @@ __all__ = [
     "OverlapReport",
     "PeruseHub",
     "PeruseSubscription",
+    "ReferenceDataProcessor",
     "SizeBins",
     "TimedEvent",
     "TraceSink",

@@ -56,10 +56,17 @@ class CircularEventQueue:
         self.pushed += 1
 
     def flush(self) -> None:
-        """Drain all buffered events to the processor and reset the head."""
+        """Drain all buffered events to the processor and reset the head.
+
+        Reentrancy-safe: the head is reset *before* the drain callback
+        runs (the batch is an independent copy), so a callback that
+        pushes events back -- e.g. a processor emitting derived events
+        while consuming a full queue -- stores them in the freed slots
+        instead of having them silently erased by a post-drain reset.
+        """
         if self._head == 0:
             return
         batch = typing.cast("list[TimedEvent]", self._slots[: self._head])
         self.drains += 1
-        self._drain(batch)
         self._head = 0
+        self._drain(batch)

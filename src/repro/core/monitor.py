@@ -201,7 +201,11 @@ class Monitor:
             raise InstrumentationError("monitor already finalized")
         self.queue.push(event)
         self.event_count += 1
-        self.peruse.dispatch(event)
+        # Inlined no-subscriber check: stamping is the library's hot path
+        # and the PERUSE hub is idle in normal runs.
+        peruse = self.peruse
+        if peruse._all or peruse._by_kind:
+            peruse.dispatch(event)
 
 
 class NullMonitor:

@@ -25,10 +25,23 @@ exchange), the processor
 State persists across drains of the circular queue, so only *active*
 events need memory (the paper: "information is maintained only for the set
 of currently active events"; no tracing).
+
+Hot-path note: interval attribution is O(1) per event regardless of how
+many transfers are active.  Instead of walking the active set on every
+event (O(active) per event, quadratic on deep injection windows), the
+processor maintains two *cumulative* clocks -- total user-computation time
+and total in-call time since startup -- and each active transfer snapshots
+them at ``XFER_BEGIN``.  At ``XFER_END`` the interleaved ``comp`` /
+``noncomp`` windows fall out by subtraction.  The clocks are kept as exact
+Shewchuk partial sums so the window values are *correctly rounded*: the
+subtraction is bit-identical to exactly summing the per-transfer interval
+list, which is what :mod:`repro.core.processor_reference` does and what
+the differential property test relies on.
 """
 
 from __future__ import annotations
 
+import math
 import typing
 
 from repro.core.events import EventKind, TimedEvent
@@ -48,23 +61,56 @@ class InstrumentationError(RuntimeError):
     """Raised on malformed event streams (library instrumentation bugs)."""
 
 
+def _grow_partials(partials: list[float], x: float) -> None:
+    """Add ``x`` to a Shewchuk partial-sum list, keeping the sum exact.
+
+    The list always represents the exact real value of everything added so
+    far; ``math.fsum`` over it yields the correctly rounded total.  The
+    list stays short in practice (a handful of non-overlapping floats), so
+    this is an O(1)-in-active-transfers accumulation step.
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+def _window(now: list[float], begin: tuple[float, ...]) -> float:
+    """Correctly rounded ``sum(now) - sum(begin)`` of two exact partial sums.
+
+    Negation of floats is exact, so fsum over the concatenation computes
+    the correctly rounded value of the exact window -- bit-identical to
+    exactly summing the intervals that fell inside it.
+    """
+    return math.fsum(now + [-y for y in begin])
+
+
 class _ActiveXfer:
     """A data-transfer operation whose ``XFER_END`` has not been seen yet."""
 
-    __slots__ = ("begin_time", "begin_call", "nbytes", "comp", "noncomp", "sections")
+    __slots__ = ("begin_time", "begin_call", "nbytes", "comp0", "noncomp0", "sections")
 
     def __init__(
         self,
         begin_time: float,
         begin_call: int,
         nbytes: float,
+        comp0: tuple[float, ...],
+        noncomp0: tuple[float, ...],
         sections: tuple[int, ...],
     ) -> None:
         self.begin_time = begin_time
         self.begin_call = begin_call  # outermost call sequence no., -1 if outside
         self.nbytes = nbytes
-        self.comp = 0.0  # user computation interleaved since begin
-        self.noncomp = 0.0  # in-library time since begin
+        self.comp0 = comp0  # computation-clock snapshot at begin
+        self.noncomp0 = noncomp0  # in-call-clock snapshot at begin
         self.sections = sections
 
 
@@ -104,6 +150,10 @@ class DataProcessor:
         self.call_stats: dict[int, CallStats] = {}
 
         self._active: dict[int, _ActiveXfer] = {}
+        # Cumulative clocks (exact partial sums): total attributed user
+        # computation and total attributed in-call time since startup.
+        self._comp_clock: list[float] = []
+        self._call_clock: list[float] = []
         self._depth = 0
         self._call_seq = 0
         self._call_enter_time = 0.0
@@ -173,12 +223,9 @@ class DataProcessor:
             self.total.add_interval(dt, in_call)
             for sec in self._section_stack:
                 self.sections[sec].add_interval(dt, in_call)
-            if in_call:
-                for xfer in self._active.values():
-                    xfer.noncomp += dt
-            else:
-                for xfer in self._active.values():
-                    xfer.comp += dt
+            # O(1) in active transfers: bump one cumulative clock; the
+            # per-transfer windows are recovered by subtraction at XFER_END.
+            _grow_partials(self._call_clock if in_call else self._comp_clock, dt)
         self._last_time = t
 
     # -- event handlers -----------------------------------------------------
@@ -203,7 +250,12 @@ class DataProcessor:
             raise InstrumentationError(f"duplicate XFER_BEGIN for transfer {ev.a}")
         begin_call = self._call_seq if self._depth > 0 else -1
         self._active[ev.a] = _ActiveXfer(
-            ev.time, begin_call, float(ev.b), tuple(self._section_stack)
+            ev.time,
+            begin_call,
+            float(ev.b),
+            tuple(self._comp_clock),
+            tuple(self._call_clock),
+            tuple(self._section_stack),
         )
 
     def _on_xfer_end(self, ev: TimedEvent) -> None:
@@ -233,8 +285,10 @@ class DataProcessor:
             self._record(xfer.nbytes, xfer_time, 0.0, 0.0, CASE_SAME_CALL, xfer.sections)
         else:
             # Case 2: bounded by interleaved computation / in-library time.
-            max_ov = min(xfer.comp, xfer_time)
-            min_ov = max(0.0, xfer_time - xfer.noncomp)
+            comp = _window(self._comp_clock, xfer.comp0)
+            noncomp = _window(self._call_clock, xfer.noncomp0)
+            max_ov = min(comp, xfer_time)
+            min_ov = max(0.0, xfer_time - noncomp)
             # The bounds must nest: min <= max always holds because
             # comp + noncomp == end - begin >= xfer_time - noncomp whenever
             # min > 0; clamp defensively against float noise.

@@ -14,6 +14,7 @@ extrapolate with the boundary bandwidth beyond the measured range.
 
 from __future__ import annotations
 
+import bisect
 import io
 import os
 import typing
@@ -21,6 +22,12 @@ import typing
 import numpy as np
 
 _HEADER = "# repro xfer-time table: bytes<TAB>seconds"
+
+#: Memo-cache entry budget for :meth:`XferTable.time_for`.  NAS kernels
+#: reuse a handful of message sizes millions of times, so nearly every
+#: lookup is a dict hit; the bound keeps pathological size streams from
+#: growing the cache without limit.
+_MEMO_CAPACITY = 4096
 
 
 class XferTable:
@@ -55,6 +62,19 @@ class XferTable:
             raise ValueError("transfer times must be positive")
         self.sizes = sizes_arr
         self.times = times_arr
+        # Hot-path lookup state: plain Python floats (no numpy scalars on
+        # the per-XFER_END path), per-segment slopes, and a bounded memo.
+        self._sizes_list: list[float] = [float(s) for s in sizes_arr]
+        self._times_list: list[float] = [float(t) for t in times_arr]
+        self._slopes: list[float] = [
+            (t1 - t0) / (s1 - s0)
+            for (s0, s1), (t0, t1) in zip(
+                zip(self._sizes_list, self._sizes_list[1:]),
+                zip(self._times_list, self._times_list[1:]),
+            )
+        ]
+        self._tail_slope = max(self._slopes[-1], 0.0) if self._slopes else 0.0
+        self._memo: dict[float, float] = {}
 
     # -- lookup ----------------------------------------------------------
     def time_for(self, nbytes: float) -> float:
@@ -62,28 +82,56 @@ class XferTable:
 
         Zero-byte operations take zero time; sizes inside the measured
         range interpolate linearly; sizes beyond either end extrapolate at
-        the boundary point's marginal bandwidth.
+        the boundary point's marginal bandwidth.  Results are memoized
+        (bounded) because applications reuse a handful of message sizes.
         """
+        cached = self._memo.get(nbytes)
+        if cached is not None:
+            return cached
+        sizes, times = self._sizes_list, self._times_list
         if nbytes <= 0:
-            return 0.0
-        sizes, times = self.sizes, self.times
-        if nbytes <= sizes[0]:
+            t = 0.0
+        elif nbytes <= sizes[0]:
             # Scale below the smallest measurement by its effective rate,
             # but never below a proportional floor of the smallest time.
-            return float(times[0] * nbytes / sizes[0]) if sizes[0] > 0 else 0.0
-        if nbytes >= sizes[-1]:
-            if sizes.size == 1:
-                return float(times[-1] * nbytes / sizes[-1])
-            # Marginal bandwidth of the last segment.
-            slope = (times[-1] - times[-2]) / (sizes[-1] - sizes[-2])
-            slope = max(slope, 0.0)
-            return float(times[-1] + slope * (nbytes - sizes[-1]))
-        return float(np.interp(nbytes, sizes, times))
+            t = times[0] * nbytes / sizes[0]
+        elif nbytes >= sizes[-1]:
+            if len(sizes) == 1:
+                t = times[-1] * nbytes / sizes[-1]
+            else:
+                # Marginal bandwidth of the last segment.
+                t = times[-1] + self._tail_slope * (nbytes - sizes[-1])
+        else:
+            # Same arithmetic as np.interp: slope * (x - x_lo) + y_lo.
+            i = bisect.bisect_right(sizes, nbytes) - 1
+            t = self._slopes[i] * (nbytes - sizes[i]) + times[i]
+        if len(self._memo) >= _MEMO_CAPACITY:
+            self._memo.clear()
+        self._memo[float(nbytes)] = t
+        return t
 
     def times_for(self, nbytes: typing.Sequence[float]) -> np.ndarray:
-        """Vectorized :meth:`time_for` over an array of sizes."""
+        """Vectorized :meth:`time_for` over an array of sizes.
+
+        Interior sizes go through one ``np.interp`` call; the boundary
+        extrapolations are applied with vectorized masks using the same
+        arithmetic as the scalar path, so the two agree element for
+        element.
+        """
         arr = np.asarray(nbytes, dtype=np.float64)
-        return np.asarray([self.time_for(x) for x in arr.ravel()]).reshape(arr.shape)
+        sizes, times = self.sizes, self.times
+        out = np.interp(arr, sizes, times)
+        below = arr <= sizes[0]
+        if below.any():
+            out = np.where(below, times[0] * arr / sizes[0], out)
+        above = arr >= sizes[-1]
+        if above.any():
+            if sizes.size == 1:
+                tail = times[-1] * arr / sizes[-1]
+            else:
+                tail = times[-1] + self._tail_slope * (arr - sizes[-1])
+            out = np.where(above, tail, out)
+        return np.where(arr <= 0, 0.0, out)
 
     def bandwidth_for(self, nbytes: float) -> float:
         """Effective bandwidth (bytes/s) for a message of ``nbytes``."""

@@ -9,6 +9,8 @@
   improvement (Figs. 14-18).
 * :mod:`repro.experiments.overhead` -- Sec. 4.5 instrumentation overhead
   (Fig. 20).
+* :mod:`repro.experiments.runner` -- parallel, content-hash-cached
+  execution of independent sweep points (shared by the CLIs).
 
 Each driver returns plain data records; rendering (text tables/plots)
 lives in :mod:`repro.analysis`.
@@ -20,10 +22,22 @@ from repro.experiments.micro import (
     measure_one_way_time,
     overlap_sweep,
 )
+from repro.experiments.runner import (
+    ResultCache,
+    Task,
+    content_key,
+    overlap_sweep_parallel,
+    run_tasks,
+)
 
 __all__ = [
     "MicroPoint",
+    "ResultCache",
+    "Task",
     "build_xfer_table",
+    "content_key",
     "measure_one_way_time",
     "overlap_sweep",
+    "overlap_sweep_parallel",
+    "run_tasks",
 ]

@@ -1,0 +1,340 @@
+"""Parallel, cached execution of independent experiment sweeps.
+
+Every figure in the paper's evaluation is a sweep over independent points
+(inserted-computation values, message sizes, process counts).  Each point
+is a pure function of its configuration -- the simulator is deterministic
+-- so two orthogonal speedups apply:
+
+* **fan-out**: independent points run concurrently on a
+  :mod:`multiprocessing` pool, with results returned in task order so a
+  parallel sweep is indistinguishable from a serial one;
+* **memoisation**: a point's result is stored on disk under a content
+  hash of everything that determines it (function identity, arguments,
+  configuration dataclasses, the transfer-time table).  Re-rendering a
+  figure after an unrelated edit is a cache hit and skips the simulation
+  entirely.
+
+The cache key is structural, not positional: it hashes a canonical JSON
+encoding of the task, so equal configurations hash equally regardless of
+object identity.  Bump :data:`CACHE_VERSION` when a change invalidates
+previously stored results (e.g. the bounds arithmetic changes); stale
+entries are then simply never looked up again.
+
+Worker functions must be module-level (picklable) and must return
+picklable values -- return plain data or ``to_dict()`` payloads, never
+:class:`~repro.runtime.launcher.RunResult` (it holds the live fabric).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+import typing
+
+#: Bump to invalidate every previously cached result (schema or
+#: simulation-semantics changes).
+CACHE_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default on-disk cache root (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+# ---------------------------------------------------------------------------
+# Content hashing
+# ---------------------------------------------------------------------------
+def _encode(obj: object) -> object:
+    """Canonical JSON-compatible encoding of a task ingredient.
+
+    Equal values encode equally; type information is kept so that e.g.
+    the tuple ``(1,)`` and the list ``[1]`` do not collide with scalars.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr() is exact for floats (round-trips); json would also do,
+        # but being explicit keeps the key stable across json versions.
+        return {"__float__": repr(obj)}
+    if isinstance(obj, (list, tuple)):
+        return {
+            "__seq__": type(obj).__name__,
+            "items": [_encode(x) for x in obj],
+        }
+    if isinstance(obj, dict):
+        return {
+            "__map__": sorted(
+                (str(k), _encode(v)) for k, v in obj.items()
+            )
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+            "fields": {
+                f.name: _encode(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if callable(obj) and hasattr(obj, "__qualname__"):
+        # Functions contribute identity, not code: renaming or moving a
+        # worker deliberately invalidates its cached results.
+        return {
+            "__callable__": f"{getattr(obj, '__module__', '?')}."
+            f"{obj.__qualname__}"
+        }
+    dumps = getattr(obj, "dumps", None)
+    if callable(dumps):  # e.g. XferTable: full measured content
+        return {"__dumps__": type(obj).__qualname__, "text": dumps()}
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return {"__to_dict__": type(obj).__qualname__, "data": _encode(to_dict())}
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):  # numpy arrays / scalars
+        return {"__array__": _encode(tolist())}
+    raise TypeError(
+        f"cannot build a cache key from {type(obj).__qualname__!r}; give the "
+        "object a dumps()/to_dict() method or pass plain data"
+    )
+
+
+def content_key(fn: typing.Callable, args: tuple, kwargs: dict) -> str:
+    """Hex digest identifying one task's full input content."""
+    payload = {
+        "version": CACHE_VERSION,
+        "fn": _encode(fn),
+        "args": _encode(tuple(args)),
+        "kwargs": _encode(dict(kwargs)),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The task unit and the on-disk cache
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class Task:
+    """One unit of sweep work: ``fn(*args, **kwargs)``.
+
+    ``fn`` must be a module-level callable (workers unpickle it by
+    qualified name) and its return value must be picklable.
+    """
+
+    fn: typing.Callable
+    args: tuple = ()
+    kwargs: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return content_key(self.fn, self.args, self.kwargs)
+
+    def run(self) -> object:
+        return self.fn(*self.args, **self.kwargs)
+
+
+class ResultCache:
+    """Content-addressed pickle store for sweep-point results.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` -- two-level fan-out keeps any
+    one directory small.  Writes are atomic (tmp file + ``os.replace``),
+    so a crashed or interrupted sweep never leaves a truncated entry.
+    """
+
+    def __init__(self, root: "str | os.PathLike | None" = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = os.fspath(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def get(self, key: str) -> "tuple[bool, object]":
+        """Return ``(found, value)``; counts a hit or a miss."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: object) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for sub in os.listdir(self.root):
+            subdir = os.path.join(self.root, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in os.listdir(subdir):
+                if name.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(subdir, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+def _run_task(task: Task) -> object:  # worker-side entry point
+    return task.run()
+
+
+def run_tasks(
+    tasks: typing.Sequence[Task],
+    jobs: "int | None" = None,
+    cache: "ResultCache | None" = None,
+) -> list[object]:
+    """Run ``tasks`` and return their results **in task order**.
+
+    ``jobs`` counts worker processes: ``None`` or ``1`` runs serially in
+    this process (no pool, no pickling); ``jobs > 1`` fans uncached tasks
+    across a pool.  ``cache`` (optional) is consulted before any work and
+    updated after; only cache misses are executed.
+
+    Determinism: results are positionally identical to a serial run
+    regardless of ``jobs`` or cache state, because every task is an
+    independent pure function and the pool uses ordered ``imap``.
+    """
+    tasks = list(tasks)
+    results: list[object] = [None] * len(tasks)
+    pending: list[int] = []
+    keys: list[str | None] = [None] * len(tasks)
+
+    if cache is not None:
+        for i, task in enumerate(tasks):
+            key = keys[i] = task.key
+            found, value = cache.get(key)
+            if found:
+                results[i] = value
+            else:
+                pending.append(i)
+    else:
+        pending = list(range(len(tasks)))
+
+    if not pending:
+        return results
+
+    if jobs is None:
+        jobs = 1
+    if jobs <= 1 or len(pending) == 1:
+        fresh = [tasks[i].run() for i in pending]
+    else:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+            fresh = list(
+                pool.imap(_run_task, [tasks[i] for i in pending], chunksize=1)
+            )
+
+    for i, value in zip(pending, fresh):
+        results[i] = value
+        if cache is not None:
+            key = keys[i]
+            assert key is not None
+            cache.put(key, value)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Parallel overlap sweep (the Sec. 3 micro figures)
+# ---------------------------------------------------------------------------
+def _sweep_point(
+    pattern: str,
+    nbytes: float,
+    compute: float,
+    config: object,
+    params: object,
+    xfer_table_text: "str | None",
+    iters: int,
+    warmup: int,
+) -> "tuple[float, dict, dict]":
+    """Worker: one compute value of the overlap test; returns plain data."""
+    from repro.core.xfer_table import XferTable
+    from repro.experiments.micro import overlap_sweep
+
+    table = (
+        XferTable.loads(xfer_table_text) if xfer_table_text is not None else None
+    )
+    (point,) = overlap_sweep(
+        pattern,
+        nbytes,
+        [compute],
+        config,  # type: ignore[arg-type]
+        params=params,  # type: ignore[arg-type]
+        xfer_table=table,
+        iters=iters,
+        warmup=warmup,
+    )
+    return (compute, point.sender.to_dict(), point.receiver.to_dict())
+
+
+def overlap_sweep_parallel(
+    pattern: str,
+    nbytes: float,
+    compute_times: typing.Sequence[float],
+    config: object,
+    params: object = None,
+    xfer_table: object = None,
+    iters: int = 50,
+    warmup: int = 3,
+    jobs: "int | None" = None,
+    cache: "ResultCache | None" = None,
+) -> list:
+    """:func:`repro.experiments.micro.overlap_sweep`, fanned and cached.
+
+    Point-for-point equal to the serial sweep (same reports, same order);
+    see ``tests/test_experiments_runner.py`` for the equivalence test.
+    """
+    from repro.core.report import OverlapReport
+    from repro.experiments.micro import PATTERNS, MicroPoint
+
+    if pattern not in PATTERNS:
+        raise ValueError(f"pattern must be one of {PATTERNS}, got {pattern!r}")
+    table_text = xfer_table.dumps() if xfer_table is not None else None  # type: ignore[attr-defined]
+    tasks = [
+        Task(
+            _sweep_point,
+            (pattern, nbytes, compute, config, params, table_text, iters, warmup),
+        )
+        for compute in compute_times
+    ]
+    points = []
+    for compute, sender_d, receiver_d in run_tasks(tasks, jobs=jobs, cache=cache):
+        points.append(
+            MicroPoint(
+                compute_time=compute,
+                sender=OverlapReport.from_dict(sender_d),
+                receiver=OverlapReport.from_dict(receiver_d),
+            )
+        )
+    return points

@@ -25,7 +25,8 @@ from repro.mpisim.status import ANY_SOURCE, ANY_TAG, MpiError, Status
 from repro.netsim.fabric import Fabric
 from repro.netsim.memory import RegistrationCache
 from repro.netsim.nic import InboundPacket, Nic
-from repro.sim import AnyOf, Engine
+from repro.sim import Engine
+from repro.sim.events import Event, Timeout
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.mpisim.protocols.base import RendezvousProtocol
@@ -138,7 +139,7 @@ class Endpoint:
     # -- small helpers -------------------------------------------------------
     def busy(self, seconds: float):
         """CPU occupancy: a timeout event (yield it to spend the time)."""
-        return self.engine.timeout(seconds)
+        return Timeout(self.engine, seconds)
 
     def next_seq(self) -> int:
         self._seq += 1
@@ -168,11 +169,14 @@ class Endpoint:
         costs one ``poll_cost`` (the check itself).  Handlers may consume
         further CPU (copies, pinning, posting).
         """
-        yield self.busy(self.params.poll_cost)
+        timeout = self.engine.timeout
+        poll_cost = self.params.poll_cost
+        nics = self.nics
+        yield timeout(poll_cost)
         progressed = False
         while True:
             item: tuple[str, object] | None = None
-            for nic in self.nics:
+            for nic in nics:
                 if nic.cq:
                     item = ("cq", nic.cq.popleft())
                     break
@@ -182,7 +186,7 @@ class Endpoint:
             if item is None:
                 break
             progressed = True
-            yield self.busy(self.params.poll_cost)
+            yield timeout(poll_cost)
             kind, payload = item
             if kind == "cq":
                 action = payload.context  # type: ignore[union-attr]
@@ -389,6 +393,24 @@ class Endpoint:
                 )
         return req
 
+    def wait_any_activity(self) -> Event:
+        """Event that fires at the next CQ entry or packet on *any* rail.
+
+        One event is registered with every rail's waiter list (the rails'
+        ``_kick`` tolerates a waiter another rail already fired), replacing
+        the per-poll-iteration ``AnyOf([nic.wait_activity() ...])`` rebuild
+        -- one allocation instead of ``nics + 1`` on the hottest blocking
+        path in the library.
+        """
+        ev = Event(self.engine)
+        for nic in self.nics:
+            if nic.inbound or nic.cq:
+                ev.succeed()
+                return ev
+        for nic in self.nics:
+            nic._waiters.append(ev)
+        return ev
+
     # -- completion driving ----------------------------------------------------
     def progress_until(self, pred: typing.Callable[[], bool]) -> typing.Generator:
         """Poll until ``pred()`` holds, sleeping on NIC activity when idle."""
@@ -397,7 +419,7 @@ class Endpoint:
             if pred():
                 break
             if not progressed:
-                yield AnyOf(self.engine, [nic.wait_activity() for nic in self.nics])
+                yield self.wait_any_activity()
 
     def wait(self, req: Request) -> typing.Generator:
         """Drive one request to completion; returns its :class:`Status`."""

@@ -120,15 +120,26 @@ class Nic:
         return ev
 
     def _kick(self) -> None:
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
         for ev in waiters:
-            ev.succeed()
+            # A waiter shared across rails (Endpoint.wait_any_activity) may
+            # have been fired by another NIC's kick already.
+            if not ev.triggered:
+                ev.succeed()
 
-    def _at(self, when: float, fn: typing.Callable[[], None]) -> None:
-        """Run ``fn`` at absolute simulation time ``when``."""
+    def _at(self, when: float, fn: typing.Callable[[Event], None]) -> None:
+        """Run ``fn`` at absolute simulation time ``when``.
+
+        ``fn`` receives (and ignores) the timeout event, which lets it be
+        registered directly as a callback -- no adapter closure per
+        scheduled completion.
+        """
         delay = when - self.engine.now
         t = self.engine.timeout(max(0.0, delay))
-        t.callbacks.append(lambda _ev: fn())  # type: ignore[union-attr]
+        t.callbacks.append(fn)  # type: ignore[union-attr]
 
     # -- timing helpers ------------------------------------------------------
     def _latency(self) -> float:
@@ -178,11 +189,11 @@ class Nic:
         self.bytes_sent += nbytes
         self.messages_sent += 1
 
-        def local_complete() -> None:
+        def local_complete(_ev: Event) -> None:
             self.cq.append(CompletionEntry(CompletionKind.SEND_DONE, context, nbytes))
             self._kick()
 
-        def deliver() -> None:
+        def deliver(_ev: Event) -> None:
             dst.inbound.append(InboundPacket(self.node, payload, nbytes))
             dst.bytes_received += nbytes
             dst.messages_received += 1
@@ -213,14 +224,14 @@ class Nic:
         self.bytes_sent += nbytes
         self.messages_sent += 1
 
-        def remote_placed() -> None:
+        def remote_placed(_ev: Event) -> None:
             dst.bytes_received += nbytes
             dst.messages_received += 1
             if notify_payload is not None:
                 dst.inbound.append(InboundPacket(self.node, notify_payload, nbytes))
                 dst._kick()
 
-        def local_complete() -> None:
+        def local_complete(_ev: Event) -> None:
             self.cq.append(
                 CompletionEntry(CompletionKind.RDMA_WRITE_DONE, context, nbytes)
             )
@@ -248,14 +259,14 @@ class Nic:
         self._check_dst(target)
         request_arrival = self.engine.now + self.params.rdma_read_request_latency
 
-        def service_read() -> None:
+        def service_read(_ev: Event) -> None:
             tx_end = target._tx_stream(nbytes)
             target.bytes_sent += nbytes
             target.messages_sent += 1
             first_byte = tx_end - target.params.wire_time(nbytes) + target._latency()
             arrival = Nic._rx_stream(self, first_byte, nbytes)
 
-            def data_arrived() -> None:
+            def data_arrived(_ev: Event) -> None:
                 self.bytes_received += nbytes
                 self.messages_received += 1
                 self.cq.append(

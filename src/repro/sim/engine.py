@@ -74,6 +74,12 @@ class Engine:
         ``until`` may be ``None`` (drain), a number (absolute simulation
         time), or an :class:`Event` (run until it is processed; returns its
         value).
+
+        The event loop is inlined here rather than delegating to
+        :meth:`step`: dispatching one event is a handful of operations, so
+        per-event call/property overhead dominated the kernel profile.  The
+        drain case (no deadline, no stop event -- what ``run_app`` uses)
+        additionally skips the head-of-heap checks entirely.
         """
         stop_event: Event | None = None
         deadline = float("inf")
@@ -86,13 +92,35 @@ class Engine:
                     f"until={deadline!r} is in the past (now={self.now!r})"
                 )
 
-        while self._heap:
-            if stop_event is not None and stop_event.processed:
-                break
-            if self.peek > deadline:
-                self.now = deadline
-                return None
-            self.step()
+        heap = self._heap
+        heappop = heapq.heappop
+        drain_only = stop_event is None and deadline == float("inf")
+        processed = 0
+        try:
+            while heap:
+                if not drain_only:
+                    if stop_event is not None and stop_event.callbacks is None:
+                        break
+                    if heap[0][0] > deadline:
+                        self.now = deadline
+                        return None
+                # Fast path: the head is the only runnable event, so it can
+                # be popped directly without going through heapq.
+                if len(heap) == 1:
+                    when, _seq, event = heap.pop()
+                else:
+                    when, _seq, event = heappop(heap)
+                self.now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                assert callbacks is not None
+                for cb in callbacks:
+                    cb(event)
+                processed += 1
+                if not event._ok and not event._defused:
+                    raise typing.cast(BaseException, event._value)
+        finally:
+            self.processed_count += processed
 
         if stop_event is not None:
             if not stop_event.processed:

@@ -117,10 +117,15 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(engine)
-        self.delay = delay
+        # Event.__init__ is inlined: timeouts are the simulator's most
+        # frequently allocated object, and the extra super() dispatch showed
+        # up in kernel profiles.
+        self.engine = engine
+        self.callbacks = []
         self._ok = True
         self._value = value
+        self._defused = False
+        self.delay = delay
         engine._post(self, delay=delay)
 
 

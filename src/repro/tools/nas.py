@@ -1,4 +1,9 @@
-"""CLI: run one NAS benchmark cell and write per-process overlap reports.
+"""CLI: run NAS benchmark cells and write per-process overlap reports.
+
+``--np`` takes a single rank count or a comma-separated grid; grid cells
+are independent simulations, so they fan across a process pool
+(``--jobs``) and are cached on disk by content (``.repro_cache`` by
+default; see ``docs/performance.md``).
 
 Example::
 
@@ -6,6 +11,7 @@ Example::
         --report-dir out/
     python -m repro.tools.nas --benchmark sp --klass A --np 9 --modified
     python -m repro.tools.nas --benchmark mg --klass B --np 8 --nonblocking
+    python -m repro.tools.nas --benchmark cg --klass A --np 4,8,16 --jobs 3
 """
 
 from __future__ import annotations
@@ -15,12 +21,78 @@ import pathlib
 import typing
 
 from repro.analysis.tables import render_size_breakdown
-from repro.armci import ArmciConfig, run_armci_app
+from repro.core.report import OverlapReport
 from repro.experiments.nas_char import MPI_BENCHMARKS
-from repro.mpisim.config import mvapich2_like, openmpi_like
-from repro.nas.mg import mg_app
-from repro.nas.sp import sp_app
-from repro.runtime.launcher import run_app
+from repro.experiments.runner import ResultCache, Task, run_tasks
+
+
+def _run_cell(
+    benchmark: str,
+    klass: str,
+    nprocs: int,
+    niter: int,
+    library: str,
+    modified: bool,
+    nonblocking: bool,
+) -> dict:
+    """Worker: one (benchmark, class, np) cell; returns a plain-data payload.
+
+    Module-level and returning only picklable values (report dicts, not
+    ``RunResult`` -- that holds the live fabric) so it can cross a process
+    pool and live in the result cache.
+    """
+    from repro.armci import ArmciConfig, run_armci_app
+    from repro.mpisim.config import mvapich2_like, openmpi_like
+    from repro.nas.mg import mg_app
+    from repro.nas.sp import sp_app
+    from repro.runtime.launcher import run_app
+
+    label = f"{benchmark}.{klass}.{nprocs}"
+    if benchmark == "mg":
+        result = run_armci_app(
+            mg_app, nprocs, config=ArmciConfig(), label=label,
+            app_args=(klass, niter, None, not nonblocking),
+        )
+    else:
+        app, config_factory = MPI_BENCHMARKS[benchmark]
+        if library == "openmpi":
+            config = openmpi_like()
+        elif library == "mvapich2":
+            config = mvapich2_like()
+        else:
+            config = config_factory()
+        if benchmark == "sp":
+            app_args: tuple = (klass, niter, None, modified)
+            app = sp_app
+        elif benchmark == "lu":
+            app_args = (klass, niter, None, None)
+        elif benchmark == "ep":
+            app_args = (klass, None, 1e-3)
+        else:
+            app_args = (klass, niter, None)
+        result = run_app(app, nprocs, config=config, label=label,
+                         app_args=app_args)
+
+    return {
+        "label": label,
+        "elapsed": result.elapsed,
+        "reports": [
+            rep.to_dict() if rep is not None else None
+            for rep in result.reports
+        ],
+    }
+
+
+def _parse_np(text: str) -> list[int]:
+    try:
+        values = [int(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--np wants an integer or comma-separated integers, got {text!r}"
+        ) from None
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(f"invalid --np grid {text!r}")
+    return values
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -33,8 +105,9 @@ def make_parser() -> argparse.ArgumentParser:
                         choices=sorted(MPI_BENCHMARKS) + ["mg"])
     parser.add_argument("--klass", default="A", choices=["S", "W", "A", "B"],
                         help="NPB problem class")
-    parser.add_argument("--np", dest="nprocs", type=int, default=4,
-                        help="number of simulated ranks")
+    parser.add_argument("--np", dest="nprocs", type=_parse_np, default=[4],
+                        help="simulated rank count, or a comma-separated "
+                        "grid (e.g. 4,9,16) run as independent cells")
     parser.add_argument("--niter", type=int, default=2,
                         help="iterations (scaled down from the NPB defaults)")
     parser.add_argument("--library", choices=["paper", "openmpi", "mvapich2"],
@@ -50,52 +123,51 @@ def make_parser() -> argparse.ArgumentParser:
                         help="also print the message-size breakdown")
     parser.add_argument("--rank", type=int, default=0,
                         help="which rank's report to print")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for a --np grid (1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the on-disk result "
+                        "cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default: "
+                        "$REPRO_CACHE_DIR or .repro_cache)")
     return parser
 
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
-    label = f"{args.benchmark}.{args.klass}.{args.nprocs}"
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    tasks = [
+        Task(_run_cell, (args.benchmark, args.klass, nprocs, args.niter,
+                         args.library, args.modified, args.nonblocking))
+        for nprocs in args.nprocs
+    ]
+    payloads = run_tasks(tasks, jobs=args.jobs, cache=cache)
 
-    if args.benchmark == "mg":
-        result = run_armci_app(
-            mg_app, args.nprocs, config=ArmciConfig(), label=label,
-            app_args=(args.klass, args.niter, None, not args.nonblocking),
-        )
-    else:
-        app, config_factory = MPI_BENCHMARKS[args.benchmark]
-        if args.library == "openmpi":
-            config = openmpi_like()
-        elif args.library == "mvapich2":
-            config = mvapich2_like()
-        else:
-            config = config_factory()
-        if args.benchmark == "sp":
-            app_args: tuple = (args.klass, args.niter, None, args.modified)
-            app = sp_app
-        elif args.benchmark == "lu":
-            app_args = (args.klass, args.niter, None, None)
-        elif args.benchmark == "ep":
-            app_args = (args.klass, None, 1e-3)
-        else:
-            app_args = (args.klass, args.niter, None)
-        result = run_app(app, args.nprocs, config=config, label=label,
-                         app_args=app_args)
+    for i, payload in enumerate(payloads):
+        reports = [
+            OverlapReport.from_dict(d) if d is not None else None
+            for d in payload["reports"]
+        ]
+        if i:
+            print("\n" + "=" * 66 + "\n")
+        report = reports[args.rank]
+        assert report is not None
+        print(report.render_text())
+        if args.sizes:
+            print()
+            print(render_size_breakdown(report, "by message size:"))
+        print(f"\njob wall time: {payload['elapsed'] * 1e3:.3f} ms (simulated)")
 
-    report = result.report(args.rank)
-    print(report.render_text())
-    if args.sizes:
-        print()
-        print(render_size_breakdown(report, "by message size:"))
-    print(f"\njob wall time: {result.elapsed * 1e3:.3f} ms (simulated)")
-
-    if args.report_dir:
-        out = pathlib.Path(args.report_dir)
-        out.mkdir(parents=True, exist_ok=True)
-        for rank, rep in enumerate(result.reports):
-            if rep is not None:
-                rep.save(out / f"{label}.rank{rank}.json")
-        print(f"wrote {len(result.reports)} reports to {out}/")
+        if args.report_dir:
+            out = pathlib.Path(args.report_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            for rank, rep in enumerate(reports):
+                if rep is not None:
+                    rep.save(out / f"{payload['label']}.rank{rank}.json")
+            print(f"wrote {len(reports)} reports to {out}/")
+    if cache is not None and cache.hits:
+        print(f"({cache.hits} of {len(tasks)} cells served from cache)")
     return 0
 
 

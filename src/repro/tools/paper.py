@@ -4,15 +4,23 @@ Runs every figure's experiment driver directly (no pytest needed) and
 writes a consolidated ``PAPER_RESULTS.md``.  Sizes are the bench-suite
 defaults; pass ``--quick`` for a fast smoke pass.
 
+Figures are independent, so they fan across a process pool (``--jobs``)
+and their rendered text is cached on disk keyed by content
+(``.repro_cache`` by default; see ``docs/performance.md``).  A rerun
+after an interruption, or with a different ``--only`` subset, only
+simulates what is missing.
+
 Example::
 
     python -m repro.tools.paper --out PAPER_RESULTS.md
     python -m repro.tools.paper --quick --only fig05,fig19
+    python -m repro.tools.paper --jobs 4 --no-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import time
 import typing
 
@@ -25,6 +33,7 @@ from repro.analysis.tables import (
 from repro.experiments.micro import overlap_sweep
 from repro.experiments.nas_char import characterize_matrix, characterize_mg
 from repro.experiments.overhead import overhead_suite
+from repro.experiments.runner import ResultCache, Task, run_tasks
 from repro.experiments.sp_tuning import sp_tuning
 from repro.mpisim.config import openmpi_like
 
@@ -89,6 +98,11 @@ def build_sections(quick: bool) -> "dict[str, typing.Callable[[], str]]":
     }
 
 
+def _render_section(key: str, quick: bool) -> str:
+    """Worker: build one figure's text block (module-level: picklable)."""
+    return build_sections(quick)[key]()
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools.paper",
@@ -99,6 +113,15 @@ def make_parser() -> argparse.ArgumentParser:
                         help="smaller sweeps/classes for a fast pass")
     parser.add_argument("--only", default=None,
                         help="comma-separated figure keys (e.g. fig05,fig19)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count(),
+                        help="worker processes for independent figures "
+                        "(default: CPU count; 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the on-disk result "
+                        "cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default: "
+                        "$REPRO_CACHE_DIR or .repro_cache)")
     return parser
 
 
@@ -122,14 +145,21 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         "the paper-vs-measured discussion.",
     ]
     t0 = time.perf_counter()
-    for key, build in sections.items():
-        print(f"running {key} ...", flush=True)
-        blocks.append(f"\n## {key}\n\n```\n{build()}\n```")
+    keys = list(sections)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    print(f"running {len(keys)} figures "
+          f"(jobs={args.jobs}, cache={'off' if cache is None else cache.root})",
+          flush=True)
+    tasks = [Task(_render_section, (key, args.quick)) for key in keys]
+    texts = run_tasks(tasks, jobs=args.jobs, cache=cache)
+    for key, text in zip(keys, texts):
+        blocks.append(f"\n## {key}\n\n```\n{text}\n```")
     elapsed = time.perf_counter() - t0
     blocks.append(f"\n_(regenerated in {elapsed:.1f} s of host time)_")
     with open(args.out, "w", encoding="utf-8") as fh:
         fh.write("\n".join(blocks) + "\n")
-    print(f"wrote {args.out} ({len(sections)} figures, {elapsed:.1f}s)")
+    cached = f", {cache.hits} cached" if cache is not None else ""
+    print(f"wrote {args.out} ({len(sections)} figures{cached}, {elapsed:.1f}s)")
     return 0
 
 

@@ -77,6 +77,46 @@ def test_head_resets_after_drain_slots_reused():
     assert q.pushed == 3
 
 
+def test_reentrant_push_during_drain_is_kept():
+    """A drain callback pushing events back must not lose them.
+
+    The head is reset before the callback runs, so reentrant pushes land
+    in the freed slots instead of being wiped by a post-drain reset.
+    """
+    drained = []
+    q = CircularEventQueue(2, lambda batch: drain(batch))
+
+    def drain(batch):
+        drained.append([e.a for e in batch])
+        if len(drained) == 1:  # emit one derived event while draining
+            q.push(_ev(99.0, ident=99))
+
+    for i in range(3):
+        q.push(_ev(float(i), ident=i))
+    # Drain fired once with [0, 1]; the reentrant 99 must still be queued
+    # ahead of 2, not erased.
+    assert drained == [[0, 1]]
+    assert len(q) == 2
+    q.flush()
+    assert drained == [[0, 1], [99, 2]]
+    assert len(q) == 0
+
+
+def test_reentrant_flush_during_drain_does_not_redeliver():
+    """A callback calling flush() again sees an empty queue, not the batch."""
+    calls = []
+    q = CircularEventQueue(4, lambda batch: drain(batch))
+
+    def drain(batch):
+        calls.append(list(batch))
+        q.flush()  # reentrant: the batch is already detached
+
+    q.push(_ev(1.0))
+    q.flush()
+    assert len(calls) == 1
+    assert q.drains == 1
+
+
 def test_name_registry_interns_stably():
     reg = NameRegistry()
     a = reg.intern("MPI_Isend")

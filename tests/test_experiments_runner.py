@@ -1,0 +1,174 @@
+"""Tests for the parallel, cached sweep runner."""
+
+import os
+
+import pytest
+
+from repro.core.xfer_table import XferTable
+from repro.experiments.runner import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    Task,
+    content_key,
+    overlap_sweep_parallel,
+    run_tasks,
+)
+from repro.mpisim.config import MpiConfig, mvapich2_like
+
+
+# Module-level so pool workers can pickle them.
+def _square(x):
+    return x * x
+
+
+def _record_call(x, log_path):
+    with open(log_path, "a", encoding="utf-8") as fh:
+        fh.write(f"{x}\n")
+    return x + 1
+
+
+def _boom(x):
+    raise AssertionError("worker must not run on a warm cache")
+
+
+# ---------------------------------------------------------------------------
+# content_key
+# ---------------------------------------------------------------------------
+def test_key_is_stable_across_equal_values():
+    a = content_key(_square, (1, 2.5, "x", (3, 4)), {"cfg": MpiConfig()})
+    b = content_key(_square, (1, 2.5, "x", (3, 4)), {"cfg": MpiConfig()})
+    assert a == b
+
+
+def test_key_distinguishes_args_kwargs_and_fn():
+    base = content_key(_square, (1,), {})
+    assert content_key(_square, (2,), {}) != base
+    assert content_key(_square, (1,), {"k": 1}) != base
+    assert content_key(_boom, (1,), {}) != base
+    # Type structure matters: a tuple is not a scalar, a list is not a tuple.
+    assert content_key(_square, ((1,),), {}) != base
+    assert content_key(_square, ([1],), {}) != content_key(_square, ((1,),), {})
+
+
+def test_key_covers_dataclass_field_content():
+    a = content_key(_square, (mvapich2_like(),), {})
+    b = content_key(_square, (mvapich2_like(),), {})
+    c = content_key(_square, (MpiConfig(eager_limit=1),), {})
+    assert a == b
+    assert a != c
+
+
+def test_key_covers_xfer_table_content():
+    t1 = XferTable([1.0, 2.0], [1e-6, 2e-6])
+    t2 = XferTable([1.0, 2.0], [1e-6, 2e-6])
+    t3 = XferTable([1.0, 2.0], [1e-6, 3e-6])
+    assert content_key(_square, (t1,), {}) == content_key(_square, (t2,), {})
+    assert content_key(_square, (t1,), {}) != content_key(_square, (t3,), {})
+
+
+def test_key_rejects_unhashable_content():
+    with pytest.raises(TypeError):
+        content_key(_square, (object(),), {})
+
+
+# ---------------------------------------------------------------------------
+# run_tasks
+# ---------------------------------------------------------------------------
+def test_serial_and_parallel_results_identical():
+    tasks = [Task(_square, (i,)) for i in range(6)]
+    assert run_tasks(tasks) == run_tasks(tasks, jobs=2) == [i * i for i in range(6)]
+
+
+def test_results_keep_task_order():
+    tasks = [Task(_square, (i,)) for i in (5, 1, 4, 2)]
+    assert run_tasks(tasks, jobs=2) == [25, 1, 16, 4]
+
+
+def test_cache_round_trip_and_counters(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    tasks = [Task(_square, (i,)) for i in range(4)]
+    cold = run_tasks(tasks, cache=cache)
+    assert (cache.hits, cache.misses) == (0, 4)
+    warm_cache = ResultCache(tmp_path / "cache")
+    warm = run_tasks(tasks, cache=warm_cache)
+    assert warm == cold
+    assert (warm_cache.hits, warm_cache.misses) == (4, 0)
+
+
+def test_warm_cache_never_invokes_the_function(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    log = tmp_path / "calls.log"
+    tasks = [Task(_record_call, (i, str(log))) for i in range(3)]
+    cold = run_tasks(tasks, cache=cache)
+    assert cold == [1, 2, 3]
+    assert log.read_text().splitlines() == ["0", "1", "2"]
+    # Same keys, poisoned function body would crash if executed -- but the
+    # key only hashes *identity* of _record_call, so reuse the real tasks
+    # and assert via the call log instead.
+    warm = run_tasks(tasks, cache=ResultCache(tmp_path / "cache"))
+    assert warm == cold
+    assert log.read_text().splitlines() == ["0", "1", "2"]  # no new calls
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    run_tasks([Task(_square, (i,)) for i in range(3)], cache=cache)
+    assert cache.clear() == 3
+    again = ResultCache(tmp_path / "cache")
+    run_tasks([Task(_square, (7,))], cache=again)
+    assert again.misses == 1
+
+
+def test_cache_root_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envcache"))
+    cache = ResultCache()
+    assert cache.root == str(tmp_path / "envcache")
+    cache.put("ab" + "0" * 62, {"v": 1})
+    assert os.path.isdir(tmp_path / "envcache")
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = Task(_square, (3,)).key
+    cache.put(key, 9)
+    path = cache._path(key)
+    with open(path, "wb") as fh:
+        fh.write(b"not a pickle")
+    fresh = ResultCache(tmp_path / "cache")
+    found, _ = fresh.get(key)
+    assert not found
+    assert fresh.misses == 1
+
+
+# ---------------------------------------------------------------------------
+# overlap_sweep_parallel
+# ---------------------------------------------------------------------------
+def test_parallel_sweep_equals_serial_sweep(tmp_path):
+    from repro.experiments.micro import overlap_sweep
+
+    cfg = mvapich2_like()
+    computes = [0.0, 5e-5]
+    serial = overlap_sweep("isend_irecv", 4096.0, computes, cfg, iters=4, warmup=1)
+    cache = ResultCache(tmp_path / "cache")
+    par = overlap_sweep_parallel(
+        "isend_irecv", 4096.0, computes, cfg, iters=4, warmup=1,
+        jobs=2, cache=cache,
+    )
+    assert [p.compute_time for p in par] == computes
+    for a, b in zip(serial, par):
+        assert a.sender.to_dict() == b.sender.to_dict()
+        assert a.receiver.to_dict() == b.receiver.to_dict()
+    # Warm rerun: all hits, identical reports, no simulation.
+    warm_cache = ResultCache(tmp_path / "cache")
+    warm = overlap_sweep_parallel(
+        "isend_irecv", 4096.0, computes, cfg, iters=4, warmup=1,
+        cache=warm_cache,
+    )
+    assert (warm_cache.hits, warm_cache.misses) == (2, 0)
+    for a, b in zip(par, warm):
+        assert a.sender.to_dict() == b.sender.to_dict()
+
+
+def test_parallel_sweep_rejects_bad_pattern():
+    with pytest.raises(ValueError):
+        overlap_sweep_parallel("sendrecv", 1.0, [0.0], MpiConfig())

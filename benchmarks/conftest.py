@@ -11,17 +11,61 @@ crosses over).  Run with::
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_simulator.json"
+
+#: Measured on the seed revision (before the O(1) processor clocks, the
+#: inlined engine run loop, and the shared endpoint waiter), same
+#: workloads, same machine class.  Kept frozen for before/after context.
+BASELINE_PRE_PR = {
+    "engine_ping_pong": {"mean_s": 0.067, "events": 40004,
+                         "events_per_s": 597_000},
+    "full_stack_lu": {"mean_s": 0.1437, "instrumented_events": 7380,
+                      "simulated_s": 0.5362},
+}
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Collect per-test numbers; merge them into BENCH_simulator.json.
+
+    Session-scoped and merge-on-write so benchmark modules can run
+    independently (``test_simulator_performance.py`` and
+    ``test_telemetry_overhead.py`` each update only their own keys,
+    preserving the other's last numbers and the frozen baseline).
+    """
+    current: dict[str, dict] = {}
+    yield current
+    if not current:
+        return
+    payload = {
+        "description": "simulator host-throughput and telemetry-overhead "
+        "benchmarks (pytest benchmarks/test_simulator_performance.py "
+        "benchmarks/test_telemetry_overhead.py --benchmark-only)",
+        "baseline_pre_pr": BASELINE_PRE_PR,
+        "current": {},
+    }
+    if BENCH_PATH.exists():
+        try:
+            previous = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+            payload["current"] = dict(previous.get("current", {}))
+        except (json.JSONDecodeError, OSError):
+            pass
+    payload["current"].update(current)
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
 
 
 @pytest.fixture

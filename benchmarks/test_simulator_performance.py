@@ -15,45 +15,13 @@ before/after (see ``docs/performance.md``).
 
 from __future__ import annotations
 
-import json
-import pathlib
-
-import pytest
-
 from repro.mpisim.config import mvapich2_like
 from repro.nas.base import CpuModel
 from repro.nas.lu import lu_app
 from repro.runtime import run_app
 from repro.sim import Engine
 
-BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_simulator.json"
-
-#: Measured on the seed revision (before the O(1) processor clocks, the
-#: inlined engine run loop, and the shared endpoint waiter), same
-#: workloads, same machine class.  Kept frozen for before/after context.
-BASELINE_PRE_PR = {
-    "engine_ping_pong": {"mean_s": 0.067, "events": 40004,
-                         "events_per_s": 597_000},
-    "full_stack_lu": {"mean_s": 0.1437, "instrumented_events": 7380,
-                      "simulated_s": 0.5362},
-}
-
-
-@pytest.fixture(scope="module")
-def bench_record():
-    """Collect per-test numbers; write BENCH_simulator.json on teardown."""
-    current: dict[str, dict] = {}
-    yield current
-    if not current:
-        return
-    payload = {
-        "description": "simulator host-throughput benchmark "
-        "(pytest benchmarks/test_simulator_performance.py --benchmark-only)",
-        "baseline_pre_pr": BASELINE_PRE_PR,
-        "current": current,
-    }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n",
-                          encoding="utf-8")
+from conftest import BASELINE_PRE_PR
 
 
 def test_engine_event_throughput(benchmark, bench_record):

@@ -9,7 +9,7 @@ from repro.analysis.tables import (
     render_size_breakdown,
     render_sp_tuning,
 )
-from repro.analysis.textplot import ascii_plot
+from repro.analysis.textplot import ascii_plot, timeline_plot
 from repro.analysis.traffic import (
     message_counts,
     modeled_time_matrix,
@@ -32,4 +32,5 @@ __all__ = [
     "render_overhead",
     "render_size_breakdown",
     "render_sp_tuning",
+    "timeline_plot",
 ]

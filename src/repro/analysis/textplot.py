@@ -4,6 +4,14 @@ from __future__ import annotations
 
 import typing
 
+#: Metrics :func:`timeline_plot` renders when none are named.
+DEFAULT_TIMELINE_METRICS = (
+    "min_overlap_time",
+    "max_overlap_time",
+    "computation_time",
+    "communication_call_time",
+)
+
 
 def ascii_plot(
     series: dict[str, typing.Sequence[float]],
@@ -66,3 +74,37 @@ def ascii_plot(
     lines.append(f"{'':>{label_w}} +{'-' * width}")
     lines.append(f"{'':>{label_w}}  {x_min:<.4g}{'':^{max(0, width - 16)}}{x_max:>.4g}")
     return "\n".join(lines)
+
+
+def timeline_plot(
+    rows: typing.Sequence[dict],
+    metrics: typing.Sequence[str] = DEFAULT_TIMELINE_METRICS,
+    width: int = 64,
+    height: int = 12,
+    title: str = "",
+    time_scale: float = 1e3,
+) -> str:
+    """Plot per-window telemetry deltas against simulated time.
+
+    ``rows`` is what :meth:`repro.telemetry.windows.WindowSeries.deltas`
+    returns: dicts with ``start`` / ``end`` (seconds) and metric values.
+    X is the window midpoint scaled by ``time_scale`` (default: ms).
+    Degenerate series (fewer than two windows) render as a text note
+    instead of a plot.
+    """
+    if not metrics:
+        raise ValueError("need at least one metric")
+    missing = [m for m in metrics if rows and m not in rows[0]]
+    if missing:
+        raise ValueError(f"rows lack metrics {missing}")
+    if len(rows) < 2:
+        parts = [title] if title else []
+        parts.append(f"(only {len(rows)} window(s); nothing to plot)")
+        for row in rows:
+            parts.extend(f"  {m} = {row[m]:.6g}" for m in metrics)
+        return "\n".join(parts)
+    x = [(row["start"] + row["end"]) / 2.0 * time_scale for row in rows]
+    series = {m: [row[m] for row in rows] for m in metrics}
+    unit = {1.0: "s", 1e3: "ms", 1e6: "us"}.get(time_scale, f"x{time_scale:g}s")
+    return ascii_plot(series, x, width=width, height=height, title=title,
+                      y_label=f"per-{unit}-window")

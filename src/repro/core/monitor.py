@@ -47,6 +47,10 @@ class Monitor:
     enabled:
         Initial monitoring state; a disabled monitor stamps nothing and
         costs (almost) nothing.
+    processor_factory:
+        Optional ``(xfer_table, bin_edges) -> DataProcessor`` override,
+        e.g. :class:`repro.telemetry.windows.WindowedProcessor` for
+        time-resolved collection.  Defaults to :class:`DataProcessor`.
     """
 
     def __init__(
@@ -56,10 +60,12 @@ class Monitor:
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         bin_edges: typing.Sequence[float] = DEFAULT_BIN_EDGES,
         enabled: bool = True,
+        processor_factory: "typing.Callable[[XferTable, typing.Sequence[float]], DataProcessor] | None" = None,
     ) -> None:
         self._clock = clock
         self.names = NameRegistry()
-        self.processor = DataProcessor(xfer_table, bin_edges)
+        factory = processor_factory or DataProcessor
+        self.processor = factory(xfer_table, bin_edges)
         self.queue = CircularEventQueue(queue_capacity, self.processor.process)
         #: PERUSE-style subscription point: external observers of the raw
         #: event stream (tracing, debugging, other performance tools).

@@ -79,10 +79,15 @@ class PeruseHub:
 
     def dispatch(self, event: TimedEvent) -> None:
         """Deliver one event to every matching subscriber."""
-        if not self.has_subscribers:
+        # Local refs and a flat emptiness check: this runs once per stamped
+        # event when any subscriber (e.g. a telemetry TraceSink) is live.
+        by_kind = self._by_kind
+        subs_all = self._all
+        if not subs_all and not by_kind:
             return
         self.dispatched += 1
-        for sub in self._by_kind.get(event.kind, ()):
-            sub.callback(event)
-        for sub in self._all:
+        if by_kind:
+            for sub in by_kind.get(event.kind, ()):
+                sub.callback(event)
+        for sub in subs_all:
             sub.callback(event)

@@ -72,6 +72,35 @@ class OverlapReport:
             call_stats=call_stats,
         )
 
+    # -- aggregation ---------------------------------------------------------
+    def merge(self, other: "OverlapReport") -> "OverlapReport":
+        """Fold another process's report into this one (cluster rollup).
+
+        Measures, sections, and call stats accumulate via
+        :meth:`OverlapMeasures.merge` (which enforces matching
+        :class:`~repro.core.measures.SizeBins` edges); ``wall_time``
+        becomes the slowest rank's, ``event_count`` the sum.  ``rank`` and
+        ``label`` keep ``self``'s values -- a merged report describes the
+        job, not one process.  Returns ``self`` for chaining.
+        """
+        self.total.merge(other.total)
+        for name, meas in other.sections.items():
+            mine = self.sections.get(name)
+            if mine is None:
+                # Deep copy so later merges never mutate ``other``'s data.
+                self.sections[name] = OverlapMeasures.from_dict(meas.to_dict())
+            else:
+                mine.merge(meas)
+        for name, (count, total) in other.call_stats.items():
+            c0, t0 = self.call_stats.get(name, (0, 0.0))
+            self.call_stats[name] = (c0 + count, t0 + total)
+        self.wall_time = max(self.wall_time, other.wall_time)
+        self.event_count += other.event_count
+        return self
+
+    def __iadd__(self, other: "OverlapReport") -> "OverlapReport":
+        return self.merge(other)
+
     # -- derived ------------------------------------------------------------
     def mean_call_time(self, name: str) -> float:
         """Average duration of one library call (e.g. ``MPI_Wait``)."""

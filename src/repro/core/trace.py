@@ -27,6 +27,11 @@ from repro.core.xfer_table import XferTable
 
 _HEADER = "# repro event trace v1: kind<TAB>time<TAB>a<TAB>b"
 
+#: Bytes per stored record: one 8-byte word per :class:`TimedEvent` field
+#: (the paper's queue holds fixed-size records).  Derived from the record
+#: definition so the estimate cannot drift if fields are added.
+RECORD_NBYTES = 8 * len(TimedEvent._fields)
+
 
 class TraceSink:
     """Unbounded in-memory event recorder (attach via the PERUSE hub)."""
@@ -42,8 +47,8 @@ class TraceSink:
 
     @property
     def nbytes_estimate(self) -> int:
-        """Approximate stored size (4 fields x 8 bytes per record)."""
-        return 32 * len(self.events)
+        """Approximate stored size: :data:`RECORD_NBYTES` per record."""
+        return RECORD_NBYTES * len(self.events)
 
     # -- persistence -------------------------------------------------------
     def dumps(self) -> str:

@@ -13,6 +13,7 @@ import typing
 
 from repro.core.monitor import Monitor, NullMonitor
 from repro.core.report import OverlapReport
+from repro.core.trace import TraceSink
 from repro.core.xfer_table import XferTable
 from repro.mpisim.config import MpiConfig
 from repro.mpisim.endpoint import Endpoint
@@ -20,6 +21,9 @@ from repro.netsim.fabric import Fabric
 from repro.netsim.params import NetworkParams
 from repro.runtime.world import RankContext
 from repro.sim import Engine
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.collect import TelemetryConfig, TelemetryResult
 
 AppFn = typing.Callable[..., typing.Generator]
 
@@ -48,6 +52,8 @@ class RunResult:
         self.fabric = fabric
         #: Per-rank ground-truth computation intervals, filled by run_app.
         self.compute_logs: list[list[tuple[float, float]]] = []
+        #: Time-resolved telemetry (set when run_app got a TelemetryConfig).
+        self.telemetry: "TelemetryResult | None" = None
 
     def report(self, rank: int = 0) -> OverlapReport:
         """The report of one rank (the paper presents "data for process 0")."""
@@ -82,10 +88,15 @@ def run_app(
     app_args: tuple = (),
     seed: int = 0,
     record_transfers: bool = False,
+    telemetry: "TelemetryConfig | None" = None,
 ) -> RunResult:
     """Run ``app(ctx, *app_args)`` on ``nprocs`` simulated ranks.
 
     ``seed`` feeds the fabric RNG (only relevant with latency jitter).
+    ``telemetry`` enables time-resolved collection (windowed measures and,
+    unless disabled, per-rank raw event capture for Perfetto export); the
+    result's ``telemetry`` attribute then holds a
+    :class:`~repro.telemetry.collect.TelemetryResult`.
     Raises whatever any rank's generator raises; a hang (every rank
     blocked with no scheduled events) surfaces as a deadlock error from
     the engine.
@@ -96,6 +107,17 @@ def run_app(
     params = params or NetworkParams()
     table = xfer_table or default_xfer_table(params)
 
+    processor_factory = None
+    if telemetry is not None:
+        from repro.telemetry.windows import WindowedProcessor
+
+        def processor_factory(xt, edges):  # noqa: F811 - deliberate rebind
+            return WindowedProcessor(
+                xt, edges,
+                window_width=telemetry.window_width,
+                max_windows=telemetry.max_windows,
+            )
+
     engine = Engine()
     fabric = Fabric(
         engine, params, nprocs, config.nics_per_node, seed=seed,
@@ -103,15 +125,24 @@ def run_app(
     )
     monitors: list[Monitor | NullMonitor] = []
     contexts: list[RankContext] = []
+    sinks: list[TraceSink | None] = []
     for rank in range(nprocs):
         monitor: Monitor | NullMonitor
+        sink: TraceSink | None = None
         if config.instrument:
             monitor = Monitor(
                 clock=lambda: engine.now,
                 xfer_table=table,
                 queue_capacity=config.queue_capacity,
                 bin_edges=config.bin_edges,
+                processor_factory=processor_factory,
             )
+            if telemetry is not None and telemetry.collect_trace:
+                sink = TraceSink()
+                # Subscribe the list's bound append (a C function) rather
+                # than the sink itself: one less Python frame per event on
+                # the stamping hot path.
+                monitor.peruse.subscribe(sink.events.append)
             # Anchor interval attribution at startup, as the real framework
             # does inside MPI_Init (this is also where the transfer-time
             # table would be read from disk).
@@ -121,6 +152,7 @@ def run_app(
             monitor = NullMonitor()
         endpoint = Endpoint(engine, fabric, rank, nprocs, config, monitor)
         monitors.append(monitor)
+        sinks.append(sink)
         contexts.append(RankContext(engine, endpoint, monitor))
 
     finish_times = [0.0] * nprocs
@@ -158,4 +190,24 @@ def run_app(
     )
     #: Per-rank ground-truth computation intervals (bound validation).
     result.compute_logs = [ctx.compute_log for ctx in contexts]
+    if telemetry is not None:
+        from repro.telemetry.collect import RankTelemetry, TelemetryResult
+        from repro.telemetry.windows import WindowedProcessor
+
+        per_rank = []
+        for rank, monitor in enumerate(monitors):
+            if not isinstance(monitor, Monitor):
+                continue
+            processor = monitor.processor
+            assert isinstance(processor, WindowedProcessor)
+            sink = sinks[rank]
+            per_rank.append(
+                RankTelemetry(
+                    rank=rank,
+                    series=processor.series(rank=rank, label=label),
+                    events=sink.events if sink is not None else None,
+                    names=monitor.names,
+                )
+            )
+        result.telemetry = TelemetryResult(per_rank, table, telemetry)
     return result

@@ -1,0 +1,172 @@
+"""Windowed bound validation against simulator ground truth.
+
+Extends :mod:`repro.experiments.validation` (whole-run bounds vs the
+fabric's physical transfer log) to window boundaries.  At the close of
+window ``i`` (simulated time ``b_i``) the framework has resolved
+``n(b_i)`` transfers with cumulative bounds ``min(b_i) <= max(b_i)``,
+while ``a(b_i)`` transfers are still active with a-priori span budget
+``pending(b_i)``.  The simulator's truth clipped at ``b_i`` is
+``true(b_i)``; restricted to transfers this rank *initiated* it is
+``true_src(b_i)``.  The validated invariants are::
+
+    min(b_i)      <=  true(b_i) + 2 * n(b_i) * slack
+    true_src(b_i) <=  max(b_i) + pending(b_i) + (n(b_i) + a(b_i)) * slack
+
+with per-transfer ``slack = latency + per_message_overhead``, for the same
+reasons the whole-run check carries slack (the sender's completion event
+precedes remote arrival by one latency; contention can stretch physical
+intervals past the a-priori time).  The min-side factor 2 covers both the
+per-transfer bound slack and truth landing just past the boundary.
+
+The max side compares against *initiated* transfers only because incoming
+wire activity can precede any local evidence: "the initiation of the send
+is transparent to the receiver" (an eager payload, or a fragment riding
+the RTS, overlaps the receiver's computation before the matching END-only
+event fires), so no intermediate-boundary allowance built from the
+monitor's own state can cover it.  Every transfer a rank initiates, by
+contrast, stamps XFER_BEGIN before its wire activity under all three
+rendezvous protocols and both eager modes, so it is always in the
+monitor's active set (covered by ``pending``) or resolved (covered by
+``max``) when its physical bytes move.  Incoming transfers are still
+validated -- by the min side here, and by the whole-run check once
+resolved.  At the final boundary ``pending`` and ``a`` are zero and the
+max check reduces to the whole-run one restricted to initiated transfers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.experiments.validation import merge_intervals
+from repro.telemetry.windows import WindowSeries
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.launcher import RunResult
+
+
+@dataclasses.dataclass
+class WindowBoundCheck:
+    """One window boundary's cumulative bounds vs clipped ground truth."""
+
+    index: int
+    boundary: float
+    cum_min: float
+    cum_max: float
+    cum_true: float
+    cum_true_src: float
+    resolved: int
+    active: int
+    pending_xfer_time: float
+    slack_per_transfer: float
+
+    @property
+    def min_holds(self) -> bool:
+        return self.cum_min <= self.cum_true + 2 * self.resolved * self.slack_per_transfer
+
+    @property
+    def max_holds(self) -> bool:
+        allowance = (
+            self.pending_xfer_time
+            + (self.resolved + self.active) * self.slack_per_transfer
+        )
+        return self.cum_true_src <= self.cum_max + allowance
+
+    @property
+    def holds(self) -> bool:
+        return self.min_holds and self.max_holds
+
+
+def _clipped_true_overlap(
+    result: "RunResult",
+    rank: int,
+    boundaries: typing.Sequence[float],
+    src_only: bool = False,
+) -> list[float]:
+    """Cumulative physical-transfer ∩ computation time at each boundary.
+
+    With ``src_only`` the sum covers only transfers this rank initiated
+    (``rec.src == rank``) -- the population the max-side check is sound
+    against (see the module docstring).
+    """
+    log = result.fabric.transfer_log
+    if log is None:
+        raise ValueError("run_app(..., record_transfers=True) required")
+    params = result.fabric.params
+    compute = merge_intervals(result.compute_logs[rank])
+    # Per-transfer intersection segments (kept per transfer, not merged:
+    # the framework's accounting is per transfer too).
+    segments: list[tuple[float, float]] = []
+    for rec in log:
+        if rec.nbytes <= params.control_packet_size:
+            continue
+        if src_only:
+            if rec.src != rank:
+                continue
+        elif rec.src != rank and rec.dst != rank:
+            continue
+        for a, b in compute:
+            if b <= rec.start:
+                continue
+            if a >= rec.end:
+                break
+            segments.append((max(a, rec.start), min(b, rec.end)))
+    segments.sort()
+    out = []
+    for boundary in boundaries:
+        total = 0.0
+        for a, b in segments:
+            if a >= boundary:
+                break
+            total += min(b, boundary) - a
+        out.append(total)
+    return out
+
+
+def check_windowed_bounds(
+    result: "RunResult", rank: int, series: WindowSeries
+) -> list[WindowBoundCheck]:
+    """Validate every window boundary of one rank's series."""
+    params = result.fabric.params
+    slack = params.latency + params.per_message_overhead
+    boundaries = [series.end(i) for i in range(len(series))]
+    truths = _clipped_true_overlap(result, rank, boundaries)
+    truths_src = _clipped_true_overlap(result, rank, boundaries, src_only=True)
+    checks = []
+    for i, win in enumerate(series.windows):
+        checks.append(
+            WindowBoundCheck(
+                index=i,
+                boundary=boundaries[i],
+                cum_min=win.cum[1],
+                cum_max=win.cum[2],
+                cum_true=truths[i],
+                cum_true_src=truths_src[i],
+                resolved=win.transfers,
+                active=win.active,
+                pending_xfer_time=win.pending_xfer_time,
+                slack_per_transfer=slack,
+            )
+        )
+    return checks
+
+
+def render_windowed_validation(
+    checks: typing.Sequence[WindowBoundCheck], title: str = ""
+) -> str:
+    """Tabulate cumulative bounds vs clipped truth per window boundary."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'win':>4} {'t(ms)':>8} {'min(ms)':>9} {'true(ms)':>9} "
+        f"{'max(ms)':>9} {'n':>5} {'act':>4} {'verdict':>8}"
+    )
+    for c in checks:
+        lines.append(
+            f"{c.index:>4} {c.boundary * 1e3:>8.3f} {c.cum_min * 1e3:>9.3f} "
+            f"{c.cum_true * 1e3:>9.3f} {c.cum_max * 1e3:>9.3f} "
+            f"{c.resolved:>5} {c.active:>4} "
+            f"{'ok' if c.holds else 'VIOLATED':>8}"
+        )
+    return "\n".join(lines)

@@ -126,6 +126,45 @@ class TestTraceSink:
         assert replayed.total.case_counts == live.total.case_counts
 
 
+class TestTraceSinkProperty:
+    """Round-trip property: dumps -> loads is the identity on event lists."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.core.events import TimedEvent
+
+    timed_events = st.builds(
+        TimedEvent,
+        kind=st.sampled_from(list(EventKind)),
+        time=st.floats(min_value=0.0, max_value=1e6,
+                       allow_nan=False, allow_infinity=False),
+        a=st.integers(min_value=0, max_value=2**31 - 1),
+        b=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+
+    @given(events=st.lists(timed_events, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_dumps_loads_roundtrip(self, events):
+        sink = TraceSink()
+        for ev in events:
+            sink(ev)
+        assert TraceSink.loads(sink.dumps()) == sink.events
+        assert sink.nbytes_estimate == 32 * len(events)
+
+    def test_section_events_roundtrip_explicitly(self, monitor):
+        sink = TraceSink()
+        monitor.peruse.subscribe(sink)
+        with monitor.section("solver"):
+            with monitor.call("MPI_Isend"):
+                xid = monitor.xfer_begin(4096)
+                monitor.xfer_end(xid, 4096)
+        kinds = [e.kind for e in sink.events]
+        assert EventKind.SECTION_BEGIN in kinds
+        assert EventKind.SECTION_END in kinds
+        assert TraceSink.loads(sink.dumps()) == sink.events
+
+
 class TestDiff:
     @pytest.fixture(scope="class")
     def pair(self):

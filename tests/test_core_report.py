@@ -115,3 +115,78 @@ def test_aggregated_percent_is_weighted_not_mean():
     merged.merge(a)
     merged.merge(b)
     assert merged.max_overlap_pct == pytest.approx(75.0)
+
+
+class TestReportMerge:
+    """OverlapReport.merge / __iadd__ (built on OverlapMeasures.merge)."""
+
+    def test_merge_empty_other_is_identity(self):
+        base = make_report(rank=0, with_section=True)
+        before = base.to_dict()
+        clock = FakeClock()
+        table = XferTable.from_model(latency=1e-6, bandwidth=1e9)
+        empty = Monitor(clock, table).finalize(rank=1)
+        base.merge(empty)
+        after = base.to_dict()
+        assert after["total"] == before["total"]
+        assert after["sections"] == before["sections"]
+        assert after["call_stats"] == before["call_stats"]
+
+    def test_merge_matches_aggregate_reports(self):
+        reports = [make_report(rank=i) for i in range(4)]
+        expected = aggregate_reports(reports)
+        merged = OverlapReport.from_dict(reports[0].to_dict())
+        for rep in reports[1:]:
+            merged.merge(rep)
+        assert merged.total.data_transfer_time == pytest.approx(
+            expected.data_transfer_time
+        )
+        assert merged.total.transfer_count == expected.transfer_count
+        assert merged.total.case_counts == expected.case_counts
+
+    def test_merge_disjoint_sections_deep_copies(self):
+        a = make_report(rank=0, with_section=False)
+        b = make_report(rank=1, with_section=True)
+        a.merge(b)
+        assert "solver" in a.sections
+        assert a.sections["solver"] is not b.sections["solver"]
+        # Mutating the merged copy must not touch b's section.
+        a.sections["solver"].add_transfer(64, 1.0, 0.5, 1.0, CASE_SPLIT_CALL)
+        assert b.sections["solver"].transfer_count == 1
+
+    def test_merge_overlapping_sections_accumulate_bins(self):
+        a = make_report(rank=0, with_section=True)
+        b = make_report(rank=1, with_section=True)
+        counts_before = [b.count for b in a.sections["solver"].bins.bins]
+        a.merge(b)
+        counts_after = [b.count for b in a.sections["solver"].bins.bins]
+        assert sum(counts_after) == 2 * sum(counts_before)
+
+    def test_merge_mismatched_bin_edges_raise(self):
+        a = make_report(rank=0)
+        other_total = OverlapMeasures(bin_edges=(10.0, 1000.0))
+        b = OverlapReport(
+            rank=1, label="", wall_time=0.0, event_count=0,
+            total=other_total, sections={}, call_stats={},
+        )
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_call_stats_and_scalars(self):
+        a = make_report(rank=0)
+        b = make_report(rank=1)
+        b.wall_time = a.wall_time * 3
+        a_count, a_time = a.call_stats["MPI_Wait"]
+        merged = a.merge(b)
+        assert merged is a  # chaining
+        assert a.call_stats["MPI_Wait"][0] == 2 * a_count
+        assert a.call_stats["MPI_Wait"][1] == pytest.approx(2 * a_time)
+        assert a.wall_time == b.wall_time  # slowest rank wins
+        assert a.rank == 0 and a.event_count > 0
+
+    def test_iadd_delegates_to_merge(self):
+        a = make_report(rank=0)
+        b = make_report(rank=1)
+        expected = a.total.data_transfer_time + b.total.data_transfer_time
+        a += b
+        assert a.total.data_transfer_time == pytest.approx(expected)

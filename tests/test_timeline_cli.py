@@ -1,0 +1,73 @@
+"""End-to-end tests for the ``repro.tools.timeline`` CLI."""
+
+import json
+
+import pytest
+
+from repro.tools.timeline import main, make_parser
+
+
+def test_run_mode_writes_full_layout(tmp_path, capsys):
+    out = tmp_path / "tl"
+    rc = main([
+        "--benchmark", "sp", "--klass", "S", "--np", "4", "--niter", "1",
+        "--out", str(out), "--ground-truth",
+    ])
+    assert rc == 0
+    ranks = sorted(out.glob("telemetry.rank*.json"))
+    assert len(ranks) == 4
+    trace = json.load(open(out / "trace.json", encoding="utf-8"))
+    assert trace["traceEvents"]
+    rollup = json.load(open(out / "rollup.json", encoding="utf-8"))
+    assert rollup["nranks"] == 4
+    text = capsys.readouterr().out
+    assert "cluster rollup" in text
+    assert "windowed bounds vs ground truth" in text
+    assert "VIOLATED" not in text
+    assert "wrote 6 files" in text
+
+
+def test_rollup_mode_reads_back_rank_files(tmp_path, capsys):
+    out = tmp_path / "tl"
+    main(["--benchmark", "lu", "--klass", "S", "--np", "4", "--niter", "1",
+          "--out", str(out), "--no-plot"])
+    capsys.readouterr()
+    paths = [str(p) for p in sorted(out.glob("telemetry.rank*.json"))]
+    rc = main(["--rollup", *paths])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "cluster rollup: 4 ranks" in text
+
+
+def test_width_and_max_windows_flags(tmp_path, capsys):
+    out = tmp_path / "tl"
+    rc = main([
+        "--benchmark", "sp", "--klass", "S", "--np", "4", "--niter", "1",
+        "--width", "5e-5", "--max-windows", "32",
+        "--out", str(out), "--no-plot",
+    ])
+    assert rc == 0
+    _, series = _load_rank0(out)
+    assert len(series["windows"]) <= 32
+
+
+def _load_rank0(out):
+    doc = json.load(open(out / "telemetry.rank0.json", encoding="utf-8"))
+    return doc["report"], doc["series"]
+
+
+def test_metrics_flag_validation():
+    parser = make_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--benchmark", "sp", "--metrics", "bogus"])
+    args = parser.parse_args(
+        ["--benchmark", "sp", "--metrics", "computation_time"]
+    )
+    assert args.metrics == ["computation_time"]
+
+
+def test_modes_are_mutually_exclusive():
+    with pytest.raises(SystemExit):
+        make_parser().parse_args(["--benchmark", "sp", "--rollup", "x.json"])
+    with pytest.raises(SystemExit):
+        make_parser().parse_args([])

@@ -83,8 +83,14 @@ def run_armci_app(
     xfer_table: XferTable | None = None,
     label: str = "",
     app_args: tuple = (),
+    metrics: "typing.Any | None" = None,
 ) -> ArmciRunResult:
-    """Run ``app(ctx, *app_args)`` on ``nprocs`` simulated ARMCI ranks."""
+    """Run ``app(ctx, *app_args)`` on ``nprocs`` simulated ARMCI ranks.
+
+    ``metrics`` (an optional :class:`~repro.metrics.MetricsRegistry`)
+    enables framework self-observability, exactly as in
+    :func:`repro.runtime.launcher.run_app`.
+    """
     if nprocs < 1:
         raise ValueError("need at least one rank")
     config = config or ArmciConfig()
@@ -92,6 +98,8 @@ def run_armci_app(
     table = xfer_table or default_xfer_table(params)
 
     engine = Engine()
+    if metrics is not None:
+        engine.attach_metrics(metrics)
     fabric = Fabric(engine, params, nprocs)
     directory: dict[tuple[int, str], Region] = {}
     monitors: list[Monitor | NullMonitor] = []
@@ -104,6 +112,8 @@ def run_armci_app(
                 xfer_table=table,
                 queue_capacity=config.queue_capacity,
                 bin_edges=config.bin_edges,
+                metrics=metrics,
+                metrics_labels={"rank": str(rank)} if metrics is not None else None,
             )
             # Anchor interval attribution at startup (ARMCI_Init).
             monitor.call_enter("ARMCI_Init")

@@ -6,13 +6,25 @@ processing module examines the events, updates the overlap measures
 on-the-fly, and the head pointer is reset so subsequent events can be
 stored.  No tracing is performed: the queue never grows and nothing is
 written to disk until the final report.
+
+Overflow semantics are explicit.  With a ``drain`` callback (the normal
+monitor wiring) a full queue is flushed to the processor and nothing is
+ever lost.  Without one (``drain=None`` -- a standalone capture ring, e.g.
+a debugging tap on the PERUSE hub) the queue keeps the **newest**
+``capacity`` events, overwriting the oldest and counting every overwrite
+in :attr:`CircularEventQueue.dropped` -- overflow is a number, not a
+silent behavior.
 """
 
 from __future__ import annotations
 
+import time
 import typing
 
 from repro.core.events import TimedEvent
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics import MetricsRegistry
 
 
 class CircularEventQueue:
@@ -25,13 +37,22 @@ class CircularEventQueue:
     drain:
         Callable invoked with the sequence of buffered events (oldest
         first) when the queue fills or :meth:`flush` is called.  After the
-        callback returns, the head pointer is reset.
+        callback returns, the head pointer is reset.  ``None`` selects
+        ring mode: overflow overwrites the oldest event and increments
+        :attr:`dropped`.
+    metrics:
+        Optional :class:`~repro.metrics.MetricsRegistry`; when given, the
+        queue registers occupancy / flush / drop health metrics under
+        ``labels``.  ``None`` (the default) is the nil fast path: no
+        registration, no per-event metric work.
     """
 
     def __init__(
         self,
         capacity: int,
-        drain: typing.Callable[[typing.Sequence[TimedEvent]], None],
+        drain: "typing.Callable[[typing.Sequence[TimedEvent]], None] | None",
+        metrics: "MetricsRegistry | None" = None,
+        labels: "dict[str, str] | None" = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
@@ -39,21 +60,87 @@ class CircularEventQueue:
         self._drain = drain
         self._slots: list[TimedEvent | None] = [None] * capacity
         self._head = 0  # next free slot
+        self._start = 0  # oldest slot (ring mode only)
+        self._draining = False
         #: Total events ever pushed (diagnostics).
         self.pushed = 0
         #: Number of times the queue filled and was drained.
         self.drains = 0
+        #: Events overwritten before anyone saw them (ring mode overflow).
+        self.dropped = 0
+        #: Flushes requested while a drain callback was already running.
+        self.reentrant_flushes = 0
+        #: Highest occupancy ever reached.
+        self.occupancy_high_water = 0
+        self._flush_hist = None
+        if metrics is not None:
+            self.attach_metrics(metrics, labels)
+
+    def attach_metrics(
+        self,
+        metrics: "MetricsRegistry",
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
+        """Register this queue's health metrics (sampled: no hot-path cost)."""
+        metrics.sampled_gauge(
+            "repro_equeue_occupancy", lambda: self._head,
+            "Events currently buffered in the circular queue", labels)
+        metrics.sampled_gauge(
+            "repro_equeue_occupancy_hiwater",
+            lambda: self.occupancy_high_water,
+            "Highest circular-queue occupancy reached", labels)
+        metrics.sampled_counter(
+            "repro_equeue_events_pushed", lambda: self.pushed,
+            "Events ever pushed into the circular queue", labels)
+        metrics.sampled_counter(
+            "repro_equeue_flushes", lambda: self.drains,
+            "Queue drains to the data processor", labels)
+        metrics.sampled_counter(
+            "repro_equeue_events_dropped", lambda: self.dropped,
+            "Events overwritten on ring-mode overflow", labels)
+        metrics.sampled_counter(
+            "repro_equeue_reentrant_flushes", lambda: self.reentrant_flushes,
+            "Flushes requested while a drain was already running", labels)
+        self._flush_hist = metrics.histogram(
+            "repro_equeue_flush_seconds",
+            "Host seconds spent inside one drain callback", labels)
 
     def __len__(self) -> int:
         return self._head
 
     def push(self, event: TimedEvent) -> None:
-        """Append an event, draining to the processor first if full."""
-        if self._head == self.capacity:
+        """Append an event, draining to the processor first if full.
+
+        In ring mode (no drain callback) a full queue overwrites its
+        oldest event instead, counting the loss in :attr:`dropped`.
+        """
+        head = self._head
+        if head == self.capacity:
+            if self._drain is None:
+                # Ring mode: overwrite the oldest slot, keep the newest
+                # ``capacity`` events, and account for the loss.
+                self._slots[self._start] = event
+                self._start += 1
+                if self._start == self.capacity:
+                    self._start = 0
+                self.dropped += 1
+                self.pushed += 1
+                return
             self.flush()
-        self._slots[self._head] = event
-        self._head += 1
+            head = self._head
+        self._slots[head] = event
+        head += 1
+        self._head = head
+        if head > self.occupancy_high_water:
+            self.occupancy_high_water = head
         self.pushed += 1
+
+    def events(self) -> list[TimedEvent]:
+        """Buffered events, oldest first, without consuming them."""
+        slots = typing.cast("list[TimedEvent]", self._slots)
+        if self._head == self.capacity and self._start:
+            return slots[self._start:] + slots[: self._start]
+        return slots[: self._head]
 
     def flush(self) -> None:
         """Drain all buffered events to the processor and reset the head.
@@ -66,7 +153,22 @@ class CircularEventQueue:
         """
         if self._head == 0:
             return
+        if self._drain is None:
+            raise ValueError("cannot flush a queue created without a drain")
+        if self._draining:
+            self.reentrant_flushes += 1
         batch = typing.cast("list[TimedEvent]", self._slots[: self._head])
         self.drains += 1
         self._head = 0
-        self._drain(batch)
+        hist = self._flush_hist
+        was_draining = self._draining
+        self._draining = True
+        try:
+            if hist is not None:
+                t0 = time.perf_counter()
+                self._drain(batch)
+                hist.observe(time.perf_counter() - t0)
+            else:
+                self._drain(batch)
+        finally:
+            self._draining = was_draining

@@ -25,6 +25,9 @@ from repro.core.processor import DataProcessor, InstrumentationError
 from repro.core.report import OverlapReport
 from repro.core.xfer_table import XferTable
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics import MetricsRegistry
+
 #: Default circular-queue capacity (events).  Small enough to be cache
 #: resident, large enough that drains are rare; ablation EA4 sweeps this.
 DEFAULT_QUEUE_CAPACITY = 4096
@@ -51,6 +54,13 @@ class Monitor:
         Optional ``(xfer_table, bin_edges) -> DataProcessor`` override,
         e.g. :class:`repro.telemetry.windows.WindowedProcessor` for
         time-resolved collection.  Defaults to :class:`DataProcessor`.
+    metrics:
+        Optional :class:`~repro.metrics.MetricsRegistry` for framework
+        self-observability: the monitor registers its own, the queue's,
+        the processor's, and the PERUSE hub's health metrics under
+        ``metrics_labels`` (typically ``{"rank": "0"}``).  ``None`` (the
+        default) is the nil fast path -- stamping is byte-for-byte the
+        pre-metrics hot path.
     """
 
     def __init__(
@@ -61,6 +71,8 @@ class Monitor:
         bin_edges: typing.Sequence[float] = DEFAULT_BIN_EDGES,
         enabled: bool = True,
         processor_factory: "typing.Callable[[XferTable, typing.Sequence[float]], DataProcessor] | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        metrics_labels: "dict[str, str] | None" = None,
     ) -> None:
         self._clock = clock
         self.names = NameRegistry()
@@ -76,7 +88,38 @@ class Monitor:
         self._finalized = False
         #: Total events stamped (drives the Fig. 20 overhead model).
         self.event_count = 0
+        #: Per-kind stamp counts (allocated only when metrics are attached).
+        self._kind_counts: "list[int] | None" = None
+        if metrics is not None:
+            self.attach_metrics(metrics, metrics_labels)
         self.start_time = clock()
+
+    def attach_metrics(
+        self,
+        metrics: "MetricsRegistry",
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
+        """Register monitor/queue/processor/hub health metrics.
+
+        Everything except the per-kind event counters is sampled from
+        diagnostics the components maintain anyway; the per-kind counts
+        add one list-index increment per stamped event.
+        """
+        if self._kind_counts is None:
+            self._kind_counts = [0] * len(EventKind)
+        counts = self._kind_counts
+        for kind in EventKind:
+            metrics.sampled_counter(
+                "repro_monitor_events",
+                (lambda k=int(kind): counts[k]),
+                "Events stamped, by kind",
+                {**(labels or {}), "kind": kind.name.lower()})
+        metrics.sampled_gauge(
+            "repro_monitor_enabled", lambda: float(self._enabled),
+            "1 while the monitor is stamping, 0 while paused", labels)
+        self.queue.attach_metrics(metrics, labels)
+        self.processor.attach_metrics(metrics, labels)
+        self.peruse.attach_metrics(metrics, labels)
 
     # -- enable / pause -----------------------------------------------------
     @property
@@ -207,6 +250,9 @@ class Monitor:
             raise InstrumentationError("monitor already finalized")
         self.queue.push(event)
         self.event_count += 1
+        kind_counts = self._kind_counts
+        if kind_counts is not None:
+            kind_counts[event.kind] += 1
         # Inlined no-subscriber check: stamping is the library's hot path
         # and the PERUSE hub is idle in normal runs.
         peruse = self.peruse

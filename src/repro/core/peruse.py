@@ -14,9 +14,13 @@ is the same.
 
 from __future__ import annotations
 
+import time
 import typing
 
 from repro.core.events import EventKind, TimedEvent
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics import MetricsRegistry
 
 
 class PeruseSubscription:
@@ -54,6 +58,29 @@ class PeruseHub:
         self._all: list[PeruseSubscription] = []
         #: Total events dispatched (diagnostics).
         self.dispatched = 0
+        self._dispatch_hist = None
+
+    def attach_metrics(
+        self,
+        metrics: "MetricsRegistry",
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
+        """Register dispatch count and per-dispatch cost metrics.
+
+        The cost histogram adds two clock reads per *dispatched* event,
+        which only happens when a subscriber is live -- idle hubs stay on
+        the zero-cost path.
+        """
+        metrics.sampled_counter(
+            "repro_peruse_dispatched", lambda: self.dispatched,
+            "Events delivered to PERUSE subscribers", labels)
+        metrics.sampled_gauge(
+            "repro_peruse_subscribers",
+            lambda: len(self._all) + sum(len(v) for v in self._by_kind.values()),
+            "Live PERUSE subscriptions", labels)
+        self._dispatch_hist = metrics.histogram(
+            "repro_peruse_dispatch_seconds",
+            "Host seconds spent delivering one event to subscribers", labels)
 
     def subscribe(
         self,
@@ -86,8 +113,12 @@ class PeruseHub:
         if not subs_all and not by_kind:
             return
         self.dispatched += 1
+        hist = self._dispatch_hist
+        t0 = time.perf_counter() if hist is not None else 0.0
         if by_kind:
             for sub in by_kind.get(event.kind, ()):
                 sub.callback(event)
         for sub in subs_all:
             sub.callback(event)
+        if hist is not None:
+            hist.observe(time.perf_counter() - t0)

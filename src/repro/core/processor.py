@@ -54,7 +54,17 @@ from repro.core.measures import (
 )
 from repro.core.xfer_table import XferTable
 
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics import MetricsRegistry
+
 _TIME_EPS = 1e-12
+
+#: Human-readable label values for the three bounding cases.
+CASE_LABELS = {
+    CASE_SAME_CALL: "same_call",
+    CASE_SPLIT_CALL: "split_call",
+    CASE_ONE_EVENT: "one_event",
+}
 
 
 class InstrumentationError(RuntimeError):
@@ -150,6 +160,10 @@ class DataProcessor:
         self.call_stats: dict[int, CallStats] = {}
 
         self._active: dict[int, _ActiveXfer] = {}
+        #: Most transfers ever simultaneously awaiting their ``XFER_END``.
+        self.active_high_water = 0
+        #: Intervals attributed (``_advance`` calls that moved the clocks).
+        self.interval_ops = 0
         # Cumulative clocks (exact partial sums): total attributed user
         # computation and total attributed in-call time since startup.
         self._comp_clock: list[float] = []
@@ -161,6 +175,38 @@ class DataProcessor:
         self._last_time: float | None = None
         self._section_stack: list[int] = []
         self._finalized = False
+
+    def attach_metrics(
+        self,
+        metrics: "MetricsRegistry",
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
+        """Register processor health metrics (all sampled: no hot-path cost).
+
+        Case counts read straight from the always-maintained
+        :attr:`OverlapMeasures.case_counts`, so the three-case mix is
+        scrapeable without a single extra operation per transfer.
+        """
+        counts = self.total.case_counts
+        for case, label in CASE_LABELS.items():
+            metrics.sampled_counter(
+                "repro_processor_cases",
+                (lambda c=case: counts[c]),
+                "Transfers resolved under each Sec. 2.2 bounding case",
+                {**(labels or {}), "case": label})
+        metrics.sampled_gauge(
+            "repro_processor_active_transfers", lambda: len(self._active),
+            "Transfers currently awaiting their XFER_END", labels)
+        metrics.sampled_gauge(
+            "repro_processor_active_transfers_hiwater",
+            lambda: self.active_high_water,
+            "Most transfers ever simultaneously active", labels)
+        metrics.sampled_counter(
+            "repro_processor_interval_ops", lambda: self.interval_ops,
+            "Interval-attribution operations (clock advances)", labels)
+        metrics.sampled_counter(
+            "repro_processor_transfers", lambda: self.total.transfer_count,
+            "Transfers resolved into the overlap measures", labels)
 
     # -- event intake -----------------------------------------------------
     def process(self, batch: typing.Sequence[TimedEvent]) -> None:
@@ -219,6 +265,7 @@ class DataProcessor:
                 f"event stream goes backwards in time: {last} -> {t}"
             )
         if dt > 0.0:
+            self.interval_ops += 1
             in_call = self._depth > 0
             self.total.add_interval(dt, in_call)
             for sec in self._section_stack:
@@ -257,6 +304,8 @@ class DataProcessor:
             tuple(self._call_clock),
             tuple(self._section_stack),
         )
+        if len(self._active) > self.active_high_water:
+            self.active_high_water = len(self._active)
 
     def _on_xfer_end(self, ev: TimedEvent) -> None:
         xfer = self._active.pop(ev.a, None)

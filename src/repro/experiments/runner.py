@@ -34,7 +34,11 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+import time
 import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics import SweepProgress
 
 #: Bump to invalidate every previously cached result (schema or
 #: simulation-semantics changes).
@@ -157,11 +161,20 @@ class ResultCache:
         return os.path.join(self.root, key[:2], key + ".pkl")
 
     def get(self, key: str) -> "tuple[bool, object]":
-        """Return ``(found, value)``; counts a hit or a miss."""
+        """Return ``(found, value)``; counts a hit or a miss.
+
+        A corrupt entry -- truncated write, bit rot, a stale pickle
+        referencing since-renamed classes -- is indistinguishable from a
+        miss: ``pickle.load`` on garbage can raise nearly anything
+        (``UnpicklingError``, ``EOFError``, ``AttributeError``,
+        ``ImportError``, ``MemoryError``...), so anything short of an
+        exiting exception means "re-run the point", never "crash the
+        sweep".
+        """
         try:
             with open(self._path(key), "rb") as fh:
                 value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
+        except Exception:
             self.misses += 1
             return False, None
         self.hits += 1
@@ -210,26 +223,47 @@ def _run_task(task: Task) -> object:  # worker-side entry point
     return task.run()
 
 
+def _run_task_timed(task: Task) -> "tuple[float, object]":
+    """Worker-side entry point that also reports the task's host seconds."""
+    t0 = time.perf_counter()
+    value = task.run()
+    return time.perf_counter() - t0, value
+
+
+def _task_name(task: Task) -> str:
+    fn = getattr(task.fn, "__name__", str(task.fn)).lstrip("_")
+    return f"{fn}{task.args[:2]!r}" if task.args else fn
+
+
 def run_tasks(
     tasks: typing.Sequence[Task],
     jobs: "int | None" = None,
     cache: "ResultCache | None" = None,
+    progress: "SweepProgress | None" = None,
 ) -> list[object]:
     """Run ``tasks`` and return their results **in task order**.
 
     ``jobs`` counts worker processes: ``None`` or ``1`` runs serially in
     this process (no pool, no pickling); ``jobs > 1`` fans uncached tasks
     across a pool.  ``cache`` (optional) is consulted before any work and
-    updated after; only cache misses are executed.
+    updated after; only cache misses are executed.  ``progress``
+    (optional :class:`~repro.metrics.SweepProgress`) receives one
+    ``task_done`` per task -- cache hits immediately, executed tasks with
+    their measured duration as results stream back -- and is
+    ``finish()``-ed before returning.
 
     Determinism: results are positionally identical to a serial run
-    regardless of ``jobs`` or cache state, because every task is an
-    independent pure function and the pool uses ordered ``imap``.
+    regardless of ``jobs``, cache state, or progress publication, because
+    every task is an independent pure function and the pool uses ordered
+    ``imap``.
     """
     tasks = list(tasks)
     results: list[object] = [None] * len(tasks)
     pending: list[int] = []
     keys: list[str | None] = [None] * len(tasks)
+
+    if progress is not None:
+        progress.start(len(tasks), jobs or 1)
 
     if cache is not None:
         for i, task in enumerate(tasks):
@@ -237,31 +271,48 @@ def run_tasks(
             found, value = cache.get(key)
             if found:
                 results[i] = value
+                if progress is not None:
+                    progress.task_done(0.0, cached=True, name=_task_name(task))
             else:
                 pending.append(i)
     else:
         pending = list(range(len(tasks)))
 
     if not pending:
+        if progress is not None:
+            progress.finish()
         return results
 
     if jobs is None:
         jobs = 1
     if jobs <= 1 or len(pending) == 1:
-        fresh = [tasks[i].run() for i in pending]
+        timed = []
+        for i in pending:
+            dur, value = _run_task_timed(tasks[i])
+            if progress is not None:
+                progress.task_done(dur, name=_task_name(tasks[i]))
+            timed.append((dur, value))
     else:
         ctx = multiprocessing.get_context()
         with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-            fresh = list(
-                pool.imap(_run_task, [tasks[i] for i in pending], chunksize=1)
-            )
+            timed = []
+            for i, (dur, value) in zip(
+                pending,
+                pool.imap(_run_task_timed, [tasks[i] for i in pending],
+                          chunksize=1),
+            ):
+                if progress is not None:
+                    progress.task_done(dur, name=_task_name(tasks[i]))
+                timed.append((dur, value))
 
-    for i, value in zip(pending, fresh):
+    for i, (_dur, value) in zip(pending, timed):
         results[i] = value
         if cache is not None:
             key = keys[i]
             assert key is not None
             cache.put(key, value)
+    if progress is not None:
+        progress.finish()
     return results
 
 

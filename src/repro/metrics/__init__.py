@@ -1,0 +1,45 @@
+"""Framework self-observability: metrics registry, exposition, dashboards.
+
+The measurement framework instruments *applications*; this package
+instruments the framework.  A :class:`MetricsRegistry` (explicitly passed
+down -- no globals) collects queue, processor, engine, and sweep health
+metrics at near-zero hot-path cost; :mod:`repro.metrics.openmetrics`
+exposes them as OpenMetrics text and JSON snapshots and merges per-rank
+files in constant memory; :mod:`repro.metrics.progress` publishes live
+sweep state for ``repro.tools.watch``.
+
+See ``docs/metrics.md`` for the metric catalog.
+"""
+
+from repro.metrics.openmetrics import (
+    MetricsAggregator,
+    aggregate_files,
+    parse_openmetrics,
+    render_openmetrics,
+    write_json_snapshot,
+    write_openmetrics,
+)
+from repro.metrics.progress import SweepProgress, load_status
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsAggregator",
+    "MetricsError",
+    "MetricsRegistry",
+    "SweepProgress",
+    "aggregate_files",
+    "load_status",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "write_json_snapshot",
+    "write_openmetrics",
+]

@@ -1,0 +1,204 @@
+"""Sweep progress publication for the live dashboard.
+
+:class:`SweepProgress` is the producer half of ``repro.tools.watch``: the
+sweep runner reports task completions to it, and it maintains two files
+in the metrics directory, each written atomically so a tailing dashboard
+never reads a torn state:
+
+* ``sweep.json`` -- the dashboard payload (tasks done/queued, cache
+  ratio, throughput, ETA);
+* ``metrics.om`` -- the sweep's own :class:`MetricsRegistry` in
+  OpenMetrics text, so standard scrapers see the same numbers.
+
+Writes are throttled (at most one per ``min_write_interval`` host
+seconds, except the first and last), keeping the publication cost
+invisible next to even the cheapest sweep point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import typing
+
+from repro.metrics.openmetrics import render_openmetrics
+from repro.metrics.registry import MetricsRegistry
+
+STATUS_FILENAME = "sweep.json"
+OPENMETRICS_FILENAME = "metrics.om"
+STATUS_FORMAT_VERSION = 1
+
+
+def _atomic_write(path: str, text: str) -> None:
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class SweepProgress:
+    """Publishes one sweep's live state to a metrics directory.
+
+    Parameters
+    ----------
+    metrics_dir:
+        Directory receiving ``sweep.json`` and ``metrics.om`` (created if
+        missing).  ``None`` disables file output (useful when only the
+        ``on_update`` hook is wanted, e.g. ``--live`` without
+        ``--metrics-dir``).
+    label:
+        Human-readable sweep name shown by the dashboard.
+    registry:
+        Registry to expose; defaults to a fresh private one.
+    on_update:
+        Optional callable receiving the status payload after every
+        update -- the in-process ``--live`` renderer hooks in here.
+    """
+
+    def __init__(
+        self,
+        metrics_dir: "str | os.PathLike | None",
+        label: str = "sweep",
+        registry: "MetricsRegistry | None" = None,
+        on_update: "typing.Callable[[dict], None] | None" = None,
+        min_write_interval: float = 0.1,
+    ) -> None:
+        self.metrics_dir = os.fspath(metrics_dir) if metrics_dir is not None else None
+        self.label = label
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.on_update = on_update
+        self.min_write_interval = min_write_interval
+        self.total = 0
+        self.done = 0
+        self.cached = 0
+        self.jobs = 1
+        self.busy_seconds = 0.0
+        self._t0 = time.monotonic()
+        self._last_write = float("-inf")
+        self._last_name = ""
+        self._finished = False
+        self._tasks = self.registry.counter(
+            "repro_sweep_tasks", "Sweep tasks completed",
+            labels={"outcome": "run"},
+        )
+        self._tasks_cached = self.registry.counter(
+            "repro_sweep_tasks", labels={"outcome": "cached"},
+        )
+        self._task_seconds = self.registry.histogram(
+            "repro_sweep_task_seconds", "Host seconds per executed sweep task",
+        )
+        self._utilization = self.registry.gauge(
+            "repro_sweep_worker_utilization",
+            "Busy worker-seconds over jobs * wall seconds",
+        )
+        self.registry.sampled_gauge(
+            "repro_sweep_tasks_queued", lambda: self.total - self.done,
+            "Sweep tasks not yet finished",
+        )
+        self.registry.sampled_gauge(
+            "repro_sweep_elapsed_seconds", lambda: self.elapsed,
+            "Host seconds since the sweep started",
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._t0
+
+    def start(self, total: int, jobs: int = 1) -> None:
+        self.total = total
+        self.jobs = max(1, jobs)
+        self._t0 = time.monotonic()
+        self._publish(force=True)
+
+    def task_done(self, duration: float, cached: bool = False,
+                  name: str = "") -> None:
+        """Record one finished task (``duration`` in host seconds)."""
+        self.done += 1
+        if cached:
+            self.cached += 1
+            self._tasks_cached.inc()
+        else:
+            self.busy_seconds += duration
+            self._tasks.inc()
+            self._task_seconds.observe(duration)
+        wall = self.elapsed
+        if wall > 0:
+            self._utilization.set(
+                min(1.0, self.busy_seconds / (self.jobs * wall))
+            )
+        self._publish(name=name)
+
+    def finish(self) -> None:
+        self._finished = True
+        self._publish(force=True)
+
+    # -- status payload ------------------------------------------------------
+    def status(self, name: str = "") -> dict[str, object]:
+        if name:
+            self._last_name = name
+        executed = self.done - self.cached
+        avg = self.busy_seconds / executed if executed else 0.0
+        remaining = self.total - self.done
+        # ETA assumes remaining tasks are uncached and fan across the pool.
+        eta = (avg * remaining / self.jobs) if executed else 0.0
+        return {
+            "format_version": STATUS_FORMAT_VERSION,
+            "label": self.label,
+            "total": self.total,
+            "done": self.done,
+            "cached": self.cached,
+            "queued": remaining,
+            "jobs": self.jobs,
+            "elapsed_s": round(self.elapsed, 3),
+            "avg_task_s": round(avg, 4),
+            "busy_s": round(self.busy_seconds, 3),
+            "utilization": round(self._utilization.value, 4),
+            "cache_ratio": round(self.cached / self.done, 4) if self.done else 0.0,
+            "eta_s": round(eta, 1),
+            "last_task": self._last_name,
+            "finished": self._finished,
+            "updated_unix": time.time(),
+        }
+
+    def _publish(self, name: str = "", force: bool = False) -> None:
+        payload = self.status(name)
+        if self.on_update is not None:
+            self.on_update(payload)
+        if self.metrics_dir is None:
+            return
+        now = time.monotonic()
+        if not force and not self._finished and (
+            now - self._last_write < self.min_write_interval
+        ):
+            return
+        self._last_write = now
+        os.makedirs(self.metrics_dir, exist_ok=True)
+        _atomic_write(
+            os.path.join(self.metrics_dir, STATUS_FILENAME),
+            json.dumps(payload, indent=1),
+        )
+        _atomic_write(
+            os.path.join(self.metrics_dir, OPENMETRICS_FILENAME),
+            render_openmetrics(self.registry),
+        )
+
+
+def load_status(metrics_dir: "str | os.PathLike") -> "dict[str, object] | None":
+    """Read the dashboard payload; ``None`` when no sweep has published."""
+    path = os.path.join(os.fspath(metrics_dir), STATUS_FILENAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None

@@ -1,0 +1,302 @@
+"""Low-overhead, allocation-light metrics primitives for self-observability.
+
+The framework's selling point is measuring *applications* without
+perturbing them; this registry applies the same standard to the framework
+itself.  Three primitive types (:class:`Counter`, :class:`Gauge` with
+high-water tracking, :class:`Histogram` with fixed log2 buckets) hang off
+an explicit :class:`MetricsRegistry` that is passed down through
+constructors -- there is no global registry, so two experiments in one
+process never share (or fight over) metric state.
+
+Two registration styles keep the hot paths cheap:
+
+* **stored** metrics (:meth:`MetricsRegistry.counter` & friends) are tiny
+  ``__slots__`` objects mutated in place -- one attribute store per
+  update, no dict lookups, no allocation;
+* **sampled** metrics (:meth:`MetricsRegistry.sampled_gauge` /
+  :meth:`sampled_counter`) wrap a zero-argument callable evaluated only
+  at collection time.  Components that already maintain plain integer
+  diagnostics (``CircularEventQueue.pushed``, ``Engine.processed_count``,
+  ...) expose them this way at *zero* per-event cost.
+
+Everything is gated behind a nil-registry fast path: instrumented
+components accept ``metrics=None`` and, when ``None``, skip registration
+entirely and keep their hot paths byte-for-byte as before.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import typing
+
+#: Metric and label names follow the OpenMetrics grammar.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bucket range: upper bounds ``2**k`` for
+#: ``k in [lo_exp, hi_exp]``.  The default spans ~1 us .. 16 s, which
+#: covers every host-side latency this framework observes.
+DEFAULT_LO_EXP = -20
+DEFAULT_HI_EXP = 4
+
+LabelDict = typing.Dict[str, str]
+LabelKey = typing.Tuple[typing.Tuple[str, str], ...]
+
+
+class MetricsError(ValueError):
+    """Raised on invalid metric names, labels, or kind conflicts."""
+
+
+def _label_key(labels: "LabelDict | None") -> LabelKey:
+    if not labels:
+        return ()
+    for k, v in labels.items():
+        if not _LABEL_RE.match(k):
+            raise MetricsError(f"invalid label name {k!r}")
+        if not isinstance(v, str):
+            raise MetricsError(f"label value for {k!r} must be a string")
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, flushes, cache hits)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Instantaneous value with a high-water mark of everything ever set."""
+
+    __slots__ = ("value", "high_water")
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed log2-bucket histogram: O(1) observe, zero allocation.
+
+    Bucket upper bounds are ``2**k`` for ``k in [lo_exp, hi_exp]`` plus a
+    final ``+Inf`` bucket; :func:`math.frexp` finds the bucket in constant
+    time with no search.  Counts are stored *per bucket* (not cumulative);
+    the OpenMetrics exposition accumulates them at render time.
+    """
+
+    __slots__ = ("lo_exp", "hi_exp", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, lo_exp: int = DEFAULT_LO_EXP,
+                 hi_exp: int = DEFAULT_HI_EXP) -> None:
+        if hi_exp < lo_exp:
+            raise MetricsError(f"need hi_exp >= lo_exp, got [{lo_exp}, {hi_exp}]")
+        self.lo_exp = lo_exp
+        self.hi_exp = hi_exp
+        # One slot per finite bound, plus +Inf.
+        self.counts = [0] * (hi_exp - lo_exp + 2)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        if value <= 0.0:
+            self.counts[0] += 1
+            return
+        mant, exp = math.frexp(value)  # value = mant * 2**exp, mant in [0.5, 1)
+        if mant == 0.5:  # exactly a power of two: lands on its own bound
+            exp -= 1
+        idx = exp - self.lo_exp
+        if idx < 0:
+            idx = 0
+        elif idx >= len(self.counts):
+            idx = len(self.counts) - 1
+        self.counts[idx] += 1
+
+    @property
+    def bounds(self) -> list[float]:
+        """Finite bucket upper bounds (the ``le`` values, sans ``+Inf``)."""
+        return [math.ldexp(1.0, k) for k in range(self.lo_exp, self.hi_exp + 1)]
+
+
+class _Family:
+    """All children of one metric name (same kind, distinct label sets)."""
+
+    __slots__ = ("name", "kind", "help", "children")
+
+    def __init__(self, name: str, kind: str, help: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        #: label key -> stored metric object, or ``(kind, fn)`` for sampled.
+        self.children: dict[LabelKey, object] = {}
+
+
+class Sample(typing.NamedTuple):
+    """One resolved sample at collection time."""
+
+    labels: LabelKey
+    value: "float | Histogram"
+
+
+class FamilySnapshot(typing.NamedTuple):
+    """One family resolved at collection time (sampled fns evaluated)."""
+
+    name: str
+    kind: str
+    help: str
+    samples: "list[Sample]"
+
+
+class MetricsRegistry:
+    """Explicit, self-contained home for a process's framework metrics.
+
+    Registration is get-or-create for stored metrics (re-registering the
+    same ``(name, labels)`` returns the existing object, so sweep-level
+    counters naturally accumulate across runs) and last-writer-wins for
+    sampled metrics (a fresh run's component re-points the sampler at its
+    own live state).
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # -- registration ------------------------------------------------------
+    def _family(self, name: str, kind: str, help: str) -> _Family:
+        if not _NAME_RE.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(name, kind, help)
+        elif family.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"cannot re-register as {kind}"
+            )
+        if help and not family.help:
+            family.help = help
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: "LabelDict | None" = None) -> Counter:
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)
+        child = family.children.get(key)
+        if not isinstance(child, Counter):
+            child = family.children[key] = Counter()
+        return child
+
+    def gauge(self, name: str, help: str = "",
+              labels: "LabelDict | None" = None) -> Gauge:
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)
+        child = family.children.get(key)
+        if not isinstance(child, Gauge):
+            child = family.children[key] = Gauge()
+        return child
+
+    def histogram(self, name: str, help: str = "",
+                  labels: "LabelDict | None" = None,
+                  lo_exp: int = DEFAULT_LO_EXP,
+                  hi_exp: int = DEFAULT_HI_EXP) -> Histogram:
+        family = self._family(name, "histogram", help)
+        key = _label_key(labels)
+        child = family.children.get(key)
+        if not isinstance(child, Histogram):
+            child = family.children[key] = Histogram(lo_exp, hi_exp)
+        return child
+
+    def sampled_counter(self, name: str, fn: typing.Callable[[], float],
+                        help: str = "",
+                        labels: "LabelDict | None" = None) -> None:
+        """Counter whose value is read from ``fn()`` at collection time."""
+        family = self._family(name, "counter", help)
+        family.children[_label_key(labels)] = ("sampled", fn)
+
+    def sampled_gauge(self, name: str, fn: typing.Callable[[], float],
+                      help: str = "",
+                      labels: "LabelDict | None" = None) -> None:
+        """Gauge whose value is read from ``fn()`` at collection time."""
+        family = self._family(name, "gauge", help)
+        family.children[_label_key(labels)] = ("sampled", fn)
+
+    # -- collection --------------------------------------------------------
+    def collect(self) -> list[FamilySnapshot]:
+        """Resolve every family (evaluating sampled callables) in
+        registration order."""
+        out: list[FamilySnapshot] = []
+        for family in self._families.values():
+            samples: list[Sample] = []
+            for key, child in family.children.items():
+                if isinstance(child, tuple):  # ("sampled", fn)
+                    samples.append(Sample(key, float(child[1]())))
+                elif isinstance(child, Histogram):
+                    samples.append(Sample(key, child))
+                elif isinstance(child, Gauge):
+                    samples.append(Sample(key, child.value))
+                else:
+                    samples.append(
+                        Sample(key, typing.cast(Counter, child).value)
+                    )
+            out.append(FamilySnapshot(family.name, family.kind, family.help,
+                                      samples))
+        return out
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-data (JSON-ready) view of every metric.
+
+        Gauges carry their high-water mark; histograms carry per-bucket
+        (non-cumulative) counts plus the finite bounds.
+        """
+        metrics: dict[str, object] = {}
+        for family in self._families.values():
+            samples = []
+            for key, child in family.children.items():
+                entry: dict[str, object] = {"labels": dict(key)}
+                if isinstance(child, tuple):
+                    entry["value"] = float(child[1]())
+                elif isinstance(child, Histogram):
+                    entry["buckets"] = list(child.counts)
+                    entry["bounds"] = child.bounds
+                    entry["sum"] = child.sum
+                    entry["count"] = child.count
+                elif isinstance(child, Gauge):
+                    entry["value"] = child.value
+                    entry["high_water"] = child.high_water
+                else:
+                    entry["value"] = typing.cast(Counter, child).value
+                samples.append(entry)
+            metrics[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return {"format_version": 1, "metrics": metrics}
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families

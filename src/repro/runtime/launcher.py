@@ -23,6 +23,7 @@ from repro.runtime.world import RankContext
 from repro.sim import Engine
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics import MetricsRegistry
     from repro.telemetry.collect import TelemetryConfig, TelemetryResult
 
 AppFn = typing.Callable[..., typing.Generator]
@@ -89,6 +90,7 @@ def run_app(
     seed: int = 0,
     record_transfers: bool = False,
     telemetry: "TelemetryConfig | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> RunResult:
     """Run ``app(ctx, *app_args)`` on ``nprocs`` simulated ranks.
 
@@ -97,6 +99,10 @@ def run_app(
     unless disabled, per-rank raw event capture for Perfetto export); the
     result's ``telemetry`` attribute then holds a
     :class:`~repro.telemetry.collect.TelemetryResult`.
+    ``metrics`` enables framework self-observability: the engine and every
+    rank's monitor stack register health metrics in the given
+    :class:`~repro.metrics.MetricsRegistry` (per-rank metrics labeled
+    ``rank="N"``); ``None`` keeps the nil fast path.
     Raises whatever any rank's generator raises; a hang (every rank
     blocked with no scheduled events) surfaces as a deadlock error from
     the engine.
@@ -119,6 +125,8 @@ def run_app(
             )
 
     engine = Engine()
+    if metrics is not None:
+        engine.attach_metrics(metrics)
     fabric = Fabric(
         engine, params, nprocs, config.nics_per_node, seed=seed,
         record_transfers=record_transfers,
@@ -136,6 +144,8 @@ def run_app(
                 queue_capacity=config.queue_capacity,
                 bin_edges=config.bin_edges,
                 processor_factory=processor_factory,
+                metrics=metrics,
+                metrics_labels={"rank": str(rank)} if metrics is not None else None,
             )
             if telemetry is not None and telemetry.collect_trace:
                 sink = TraceSink()

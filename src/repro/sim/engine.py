@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import heapq
+import time
 import typing
 
 from repro.sim.events import Event, SimulationError, Timeout
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics import MetricsRegistry
     from repro.sim.process import Process
 
 
@@ -26,12 +28,47 @@ class Engine:
         self._seq: int = 0
         #: Number of events processed so far (useful for tests/diagnostics).
         self.processed_count: int = 0
+        #: Largest pending-event heap ever reached.
+        self.heap_high_water: int = 0
+
+    def attach_metrics(
+        self,
+        metrics: "MetricsRegistry",
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
+        """Register engine health metrics (all sampled: no run-loop cost).
+
+        The sim-time advance rate (simulated seconds per host second) is
+        anchored at attach time, so scrape it from the registry that was
+        attached before :meth:`run`.
+        """
+        host_t0 = time.perf_counter()
+        metrics.sampled_counter(
+            "repro_engine_events_processed", lambda: self.processed_count,
+            "Simulation events popped and dispatched", labels)
+        metrics.sampled_gauge(
+            "repro_engine_heap_size", lambda: len(self._heap),
+            "Pending simulation events", labels)
+        metrics.sampled_gauge(
+            "repro_engine_heap_hiwater", lambda: self.heap_high_water,
+            "Largest pending-event heap ever reached", labels)
+        metrics.sampled_gauge(
+            "repro_engine_sim_time_seconds", lambda: self.now,
+            "Current simulation clock", labels)
+        metrics.sampled_gauge(
+            "repro_engine_sim_seconds_per_host_second",
+            lambda: self.now / max(time.perf_counter() - host_t0, 1e-9),
+            "Simulated-time advance rate since metrics were attached",
+            labels)
 
     # -- scheduling -------------------------------------------------------
     def _post(self, event: Event, delay: float = 0.0) -> None:
         """Schedule a triggered event for processing ``delay`` from now."""
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        heap = self._heap
+        heapq.heappush(heap, (self.now + delay, self._seq, event))
         self._seq += 1
+        if len(heap) > self.heap_high_water:
+            self.heap_high_water = len(heap)
 
     def timeout(self, delay: float, value: object = None) -> Timeout:
         """Create a :class:`Timeout` firing ``delay`` seconds from now."""

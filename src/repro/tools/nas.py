@@ -17,6 +17,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import typing
 
@@ -34,12 +35,15 @@ def _run_cell(
     library: str,
     modified: bool,
     nonblocking: bool,
+    emit_metrics: bool = False,
 ) -> dict:
     """Worker: one (benchmark, class, np) cell; returns a plain-data payload.
 
     Module-level and returning only picklable values (report dicts, not
     ``RunResult`` -- that holds the live fabric) so it can cross a process
-    pool and live in the result cache.
+    pool and live in the result cache.  With ``emit_metrics`` the run
+    carries a :class:`~repro.metrics.MetricsRegistry` and the payload
+    gains the rendered OpenMetrics text plus the JSON snapshot.
     """
     from repro.armci import ArmciConfig, run_armci_app
     from repro.mpisim.config import mvapich2_like, openmpi_like
@@ -47,11 +51,18 @@ def _run_cell(
     from repro.nas.sp import sp_app
     from repro.runtime.launcher import run_app
 
+    registry = None
+    if emit_metrics:
+        from repro.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+
     label = f"{benchmark}.{klass}.{nprocs}"
     if benchmark == "mg":
         result = run_armci_app(
             mg_app, nprocs, config=ArmciConfig(), label=label,
             app_args=(klass, niter, None, not nonblocking),
+            metrics=registry,
         )
     else:
         app, config_factory = MPI_BENCHMARKS[benchmark]
@@ -71,9 +82,9 @@ def _run_cell(
         else:
             app_args = (klass, niter, None)
         result = run_app(app, nprocs, config=config, label=label,
-                         app_args=app_args)
+                         app_args=app_args, metrics=registry)
 
-    return {
+    payload = {
         "label": label,
         "elapsed": result.elapsed,
         "reports": [
@@ -81,6 +92,12 @@ def _run_cell(
             for rep in result.reports
         ],
     }
+    if registry is not None:
+        from repro.metrics import render_openmetrics
+
+        payload["openmetrics"] = render_openmetrics(registry)
+        payload["metrics_snapshot"] = registry.snapshot()
+    return payload
 
 
 def _parse_np(text: str) -> list[int]:
@@ -131,18 +148,35 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory (default: "
                         "$REPRO_CACHE_DIR or .repro_cache)")
+    parser.add_argument("--metrics-dir", default=None,
+                        help="publish live sweep status here and write one "
+                        "OpenMetrics file + JSON metrics snapshot per cell "
+                        "(tail with `python -m repro.tools.watch`)")
+    parser.add_argument("--live", action="store_true",
+                        help="render the sweep dashboard in-place on stderr "
+                        "while cells run")
     return parser
 
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = None
+    if args.metrics_dir or args.live:
+        from repro.metrics import SweepProgress
+        on_update = None
+        if args.live:
+            from repro.tools.watch import LiveRenderer
+            on_update = LiveRenderer().update
+        progress = SweepProgress(args.metrics_dir, label=f"nas.{args.benchmark}",
+                                 on_update=on_update)
     tasks = [
         Task(_run_cell, (args.benchmark, args.klass, nprocs, args.niter,
-                         args.library, args.modified, args.nonblocking))
+                         args.library, args.modified, args.nonblocking,
+                         args.metrics_dir is not None))
         for nprocs in args.nprocs
     ]
-    payloads = run_tasks(tasks, jobs=args.jobs, cache=cache)
+    payloads = run_tasks(tasks, jobs=args.jobs, cache=cache, progress=progress)
 
     for i, payload in enumerate(payloads):
         reports = [
@@ -166,6 +200,16 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                 if rep is not None:
                     rep.save(out / f"{payload['label']}.rank{rank}.json")
             print(f"wrote {len(reports)} reports to {out}/")
+
+        if args.metrics_dir and "openmetrics" in payload:
+            mdir = pathlib.Path(args.metrics_dir)
+            mdir.mkdir(parents=True, exist_ok=True)
+            om_path = mdir / f"{payload['label']}.om"
+            om_path.write_text(payload["openmetrics"], encoding="utf-8")
+            with open(mdir / f"{payload['label']}.metrics.json", "w",
+                      encoding="utf-8") as fh:
+                json.dump(payload["metrics_snapshot"], fh, indent=1)
+            print(f"wrote framework metrics to {om_path}")
     if cache is not None and cache.hits:
         print(f"({cache.hits} of {len(tasks)} cells served from cache)")
     return 0

@@ -122,6 +122,12 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory (default: "
                         "$REPRO_CACHE_DIR or .repro_cache)")
+    parser.add_argument("--metrics-dir", default=None,
+                        help="publish live sweep status + OpenMetrics here "
+                        "(tail with `python -m repro.tools.watch`)")
+    parser.add_argument("--live", action="store_true",
+                        help="render the sweep dashboard in-place on stderr "
+                        "while figures run")
     return parser
 
 
@@ -150,8 +156,17 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     print(f"running {len(keys)} figures "
           f"(jobs={args.jobs}, cache={'off' if cache is None else cache.root})",
           flush=True)
+    progress = None
+    if args.metrics_dir or args.live:
+        from repro.metrics import SweepProgress
+        on_update = None
+        if args.live:
+            from repro.tools.watch import LiveRenderer
+            on_update = LiveRenderer().update
+        progress = SweepProgress(args.metrics_dir, label="paper",
+                                 on_update=on_update)
     tasks = [Task(_render_section, (key, args.quick)) for key in keys]
-    texts = run_tasks(tasks, jobs=args.jobs, cache=cache)
+    texts = run_tasks(tasks, jobs=args.jobs, cache=cache, progress=progress)
     for key, text in zip(keys, texts):
         blocks.append(f"\n## {key}\n\n```\n{text}\n```")
     elapsed = time.perf_counter() - t0

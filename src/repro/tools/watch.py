@@ -1,0 +1,136 @@
+"""CLI: live ANSI dashboard over a sweep's metrics directory.
+
+``repro.tools.paper`` and ``repro.tools.nas`` publish their sweep state
+(``sweep.json`` + ``metrics.om``) into ``--metrics-dir``; this tool tails
+it from another terminal::
+
+    python -m repro.tools.watch --metrics-dir out/metrics
+    python -m repro.tools.watch --metrics-dir out/metrics --interval 0.5
+
+``--once`` renders a single plain-ASCII snapshot to stdout and exits --
+no cursor control, no TTY required -- which is how CI smoke-tests the
+dashboard (and how scripts scrape a sweep's state).
+
+The renderer is pure (payload dict in, text out), so the ``--live`` flag
+of the sweep CLIs reuses it in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import typing
+
+from repro.metrics.progress import load_status
+
+#: Width of the progress bar in characters.
+BAR_WIDTH = 40
+
+_ANSI_CLEAR_BLOCK = "\x1b[{n}A\x1b[J"
+
+
+def _bar(fraction: float, width: int = BAR_WIDTH) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds <= 0:
+        return "--"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def render_status(payload: "dict[str, object] | None") -> str:
+    """Render one dashboard frame from a ``sweep.json`` payload."""
+    if payload is None:
+        return "watch: no sweep status published yet (missing sweep.json)"
+    total = int(typing.cast(int, payload.get("total", 0)))
+    done = int(typing.cast(int, payload.get("done", 0)))
+    cached = int(typing.cast(int, payload.get("cached", 0)))
+    queued = int(typing.cast(int, payload.get("queued", total - done)))
+    frac = done / total if total else 0.0
+    finished = bool(payload.get("finished"))
+    state = "done" if finished else "running"
+    lines = [
+        f"sweep {payload.get('label', '?')} [{state}]",
+        f"  [{_bar(frac)}] {done}/{total} tasks ({frac * 100:.0f}%)",
+        f"  queued {queued}   cached {cached} "
+        f"({float(typing.cast(float, payload.get('cache_ratio', 0.0))) * 100:.0f}% hit)"
+        f"   jobs {payload.get('jobs', 1)}",
+        f"  elapsed {float(typing.cast(float, payload.get('elapsed_s', 0.0))):.1f}s"
+        f"   avg task {float(typing.cast(float, payload.get('avg_task_s', 0.0))):.3f}s"
+        f"   worker util "
+        f"{float(typing.cast(float, payload.get('utilization', 0.0))) * 100:.0f}%",
+        f"  ETA {_fmt_eta(float(typing.cast(float, payload.get('eta_s', 0.0))))}"
+        + (f"   last: {payload['last_task']}" if payload.get("last_task") else ""),
+    ]
+    return "\n".join(lines)
+
+
+class LiveRenderer:
+    """In-place ANSI repaint of the dashboard block (for ``--live``)."""
+
+    def __init__(self, stream: "typing.TextIO | None" = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._lines = 0
+
+    def update(self, payload: "dict[str, object] | None") -> None:
+        text = render_status(payload)
+        if self._lines:
+            self.stream.write(_ANSI_CLEAR_BLOCK.format(n=self._lines))
+        self.stream.write(text + "\n")
+        self.stream.flush()
+        self._lines = text.count("\n") + 1
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.watch",
+        description="Tail a sweep's metrics directory as a live dashboard.",
+    )
+    parser.add_argument("--metrics-dir", default=".",
+                        help="directory a sweep publishes sweep.json into")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="refresh period in seconds (live mode)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one plain snapshot to stdout and exit "
+                        "(no TTY/ANSI; CI-friendly)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="live mode: give up after this many seconds "
+                        "without the sweep finishing")
+    return parser
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    if args.once:
+        payload = load_status(args.metrics_dir)
+        print(render_status(payload))
+        return 0 if payload is not None else 1
+
+    renderer = LiveRenderer()
+    deadline = (time.monotonic() + args.timeout
+                if args.timeout is not None else None)
+    try:
+        while True:
+            payload = load_status(args.metrics_dir)
+            renderer.update(payload)
+            if payload is not None and payload.get("finished"):
+                return 0
+            if deadline is not None and time.monotonic() > deadline:
+                print("watch: timeout before the sweep finished",
+                      file=sys.stderr)
+                return 1
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -117,6 +117,83 @@ def test_reentrant_flush_during_drain_does_not_redeliver():
     assert q.drains == 1
 
 
+def test_ring_mode_drop_counter_matches_hand_computed_overflow():
+    """drain=None keeps the newest ``capacity`` events and counts drops.
+
+    Hand-computed: capacity 4, 10 pushes -> the first 6 events are
+    overwritten (dropped == 6) and the ring holds exactly events 6..9,
+    oldest first.
+    """
+    q = CircularEventQueue(4, None)
+    for i in range(10):
+        q.push(_ev(float(i), ident=i))
+    assert q.dropped == 6
+    assert q.pushed == 10
+    assert len(q) == 4
+    assert [e.a for e in q.events()] == [6, 7, 8, 9]
+    assert q.occupancy_high_water == 4
+
+
+def test_ring_mode_below_capacity_drops_nothing():
+    q = CircularEventQueue(4, None)
+    for i in range(4):
+        q.push(_ev(float(i), ident=i))
+    assert q.dropped == 0
+    assert [e.a for e in q.events()] == [0, 1, 2, 3]
+
+
+def test_ring_mode_flush_is_rejected():
+    q = CircularEventQueue(2, None)
+    q.push(_ev(1.0))
+    with pytest.raises(ValueError, match="without a drain"):
+        q.flush()
+
+
+def test_drained_queue_never_drops():
+    """The normal monitor wiring loses nothing, whatever the volume."""
+    seen = []
+    q = CircularEventQueue(2, seen.extend)
+    for i in range(100):
+        q.push(_ev(float(i), ident=i))
+    q.flush()
+    assert q.dropped == 0
+    assert [e.a for e in seen] == list(range(100))
+
+
+def test_reentrant_flush_counter():
+    q = CircularEventQueue(4, lambda batch: drain(batch))
+
+    def drain(batch):
+        if not q.reentrant_flushes:  # push + flush from inside the drain
+            q.push(_ev(99.0, ident=99))
+            q.flush()
+
+    q.push(_ev(1.0))
+    q.flush()
+    assert q.reentrant_flushes == 1
+    assert q.drains == 2
+
+
+def test_queue_metrics_sample_live_counters():
+    from repro.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    q = CircularEventQueue(2, lambda batch: None,
+                           metrics=reg, labels={"rank": "0"})
+    for i in range(5):
+        q.push(_ev(float(i)))
+    by_name = {f.name: f.samples[0] for f in reg.collect()}
+    assert by_name["repro_equeue_events_pushed"].value == 5.0
+    assert by_name["repro_equeue_flushes"].value == 2.0
+    assert by_name["repro_equeue_occupancy"].value == 1.0
+    assert by_name["repro_equeue_occupancy_hiwater"].value == 2.0
+    assert by_name["repro_equeue_events_dropped"].value == 0.0
+    assert by_name["repro_equeue_occupancy"].labels == (("rank", "0"),)
+    # The drain ran with the flush-latency histogram attached.
+    hist = by_name["repro_equeue_flush_seconds"].value
+    assert hist.count == 2
+
+
 def test_name_registry_interns_stably():
     reg = NameRegistry()
     a = reg.intern("MPI_Isend")

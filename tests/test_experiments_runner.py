@@ -140,6 +140,86 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path):
     assert fresh.misses == 1
 
 
+def test_truncated_cache_entry_is_a_miss_and_sweep_recovers(tmp_path):
+    """A pickle cut off mid-stream (killed process, full disk) must read
+    as a miss: the sweep re-runs that point instead of crashing."""
+    cache = ResultCache(tmp_path / "cache")
+    tasks = [Task(_square, (i,)) for i in range(4)]
+    run_tasks(tasks, cache=cache)
+    victim = cache._path(tasks[2].key)
+    blob = open(victim, "rb").read()
+    assert len(blob) > 4
+    with open(victim, "wb") as fh:
+        fh.write(blob[: len(blob) // 2])  # truncate mid-pickle
+
+    fresh = ResultCache(tmp_path / "cache")
+    results = run_tasks(tasks, cache=fresh)
+    assert results == [0, 1, 4, 9]  # recomputed transparently
+    assert (fresh.hits, fresh.misses) == (3, 1)
+
+
+def test_zero_byte_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = Task(_square, (5,)).key
+    cache.put(key, 25)
+    open(cache._path(key), "wb").close()
+    fresh = ResultCache(tmp_path / "cache")
+    found, _ = fresh.get(key)
+    assert not found
+    assert fresh.misses == 1
+
+
+# ---------------------------------------------------------------------------
+# progress reporting
+# ---------------------------------------------------------------------------
+class _Recorder:
+    """Minimal SweepProgress stand-in capturing runner callbacks."""
+
+    def __init__(self):
+        self.events = []
+
+    def start(self, total, jobs=1):
+        self.events.append(("start", total, jobs))
+
+    def task_done(self, duration, cached=False, name=""):
+        self.events.append(("done", cached, duration >= 0.0))
+
+    def finish(self):
+        self.events.append(("finish",))
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_run_tasks_reports_progress(jobs):
+    progress = _Recorder()
+    tasks = [Task(_square, (i,)) for i in range(3)]
+    assert run_tasks(tasks, jobs=jobs, progress=progress) == [0, 1, 4]
+    assert progress.events[0] == ("start", 3, jobs)
+    assert progress.events[-1] == ("finish",)
+    assert progress.events[1:-1] == [("done", False, True)] * 3
+
+
+def test_run_tasks_reports_cache_hits_as_cached(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    tasks = [Task(_square, (i,)) for i in range(3)]
+    run_tasks(tasks, cache=cache)
+    progress = _Recorder()
+    run_tasks(tasks, cache=ResultCache(tmp_path / "cache"), progress=progress)
+    assert progress.events[1:-1] == [("done", True, True)] * 3
+
+
+def test_run_tasks_with_sweep_progress_end_to_end(tmp_path):
+    from repro.metrics import SweepProgress, load_status
+
+    progress = SweepProgress(tmp_path / "m", label="runner",
+                             min_write_interval=0.0)
+    run_tasks([Task(_square, (i,)) for i in range(4)], jobs=2,
+              progress=progress)
+    status = load_status(tmp_path / "m")
+    assert status is not None
+    assert status["total"] == 4 and status["done"] == 4
+    assert status["finished"] is True
+
+
 # ---------------------------------------------------------------------------
 # overlap_sweep_parallel
 # ---------------------------------------------------------------------------

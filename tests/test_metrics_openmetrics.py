@@ -1,0 +1,158 @@
+"""OpenMetrics exposition, parser, and constant-memory aggregation."""
+
+import json
+
+import pytest
+
+from repro.metrics import (
+    MetricsAggregator,
+    MetricsRegistry,
+    aggregate_files,
+    parse_openmetrics,
+    render_openmetrics,
+    write_json_snapshot,
+    write_openmetrics,
+)
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_jobs", "Jobs run", labels={"kind": "lu"}).inc(3)
+    reg.gauge("repro_depth", "Queue depth").set(7)
+    h = reg.histogram("repro_lat_seconds", lo_exp=-2, hi_exp=0)
+    h.observe(0.2)
+    h.observe(0.9)
+    return reg
+
+
+def test_render_has_metadata_eof_and_counter_suffix():
+    text = render_openmetrics(_registry())
+    assert "# TYPE repro_jobs counter" in text
+    assert "# HELP repro_jobs Jobs run" in text
+    assert 'repro_jobs_total{kind="lu"} 3' in text
+    assert "repro_depth 7" in text
+    assert text.endswith("# EOF\n")
+
+
+def test_render_histogram_buckets_are_cumulative_with_inf():
+    text = render_openmetrics(_registry())
+    buckets = [line for line in text.splitlines()
+               if line.startswith("repro_lat_seconds_bucket")]
+    # bounds: 0.25, 0.5, 1.0, +Inf; observations 0.2 and 0.9
+    assert buckets == [
+        'repro_lat_seconds_bucket{le="0.25"} 1',
+        'repro_lat_seconds_bucket{le="0.5"} 1',
+        'repro_lat_seconds_bucket{le="1"} 2',
+        'repro_lat_seconds_bucket{le="+Inf"} 2',
+    ]
+    assert "repro_lat_seconds_count 2" in text
+    assert "repro_lat_seconds_sum 1.1" in text
+
+
+def test_parse_round_trips_values_and_labels():
+    reg = _registry()
+    parsed = parse_openmetrics(render_openmetrics(reg))
+    jobs = parsed["repro_jobs"]
+    assert jobs["kind"] == "counter"
+    assert jobs["help"] == "Jobs run"
+    assert jobs["samples"][("_total", (("kind", "lu"),))] == 3.0
+    assert parsed["repro_depth"]["samples"][("", ())] == 7.0
+    lat = parsed["repro_lat_seconds"]["samples"]
+    assert lat[("_count", ())] == 2.0
+    assert lat[("_bucket", (("le", "0.5"),))] == 1.0
+
+
+def test_parse_rejects_missing_eof_and_undeclared_family():
+    with pytest.raises(ValueError, match="EOF"):
+        parse_openmetrics("# TYPE x counter\nx_total 1\n")
+    with pytest.raises(ValueError, match="no declared family"):
+        parse_openmetrics("mystery 1\n# EOF\n")
+
+
+def test_label_values_escape_round_trip():
+    reg = MetricsRegistry()
+    tricky = 'a"b\\c\nd'
+    reg.counter("repro_x", labels={"k": tricky}).inc()
+    parsed = parse_openmetrics(render_openmetrics(reg))
+    assert parsed["repro_x"]["samples"][("_total", (("k", tricky),))] == 1.0
+
+
+def test_write_helpers(tmp_path):
+    reg = _registry()
+    om = tmp_path / "m.om"
+    js = tmp_path / "m.json"
+    write_openmetrics(reg, om)
+    write_json_snapshot(reg, js)
+    assert parse_openmetrics(om.read_text())["repro_jobs"]["kind"] == "counter"
+    snap = json.loads(js.read_text())
+    assert snap["format_version"] == 1
+
+
+def _rank_snapshot(rank: int, depth: float) -> dict:
+    reg = MetricsRegistry()
+    labels = {"rank": str(rank)}
+    reg.counter("repro_events", labels=labels).inc(10 * (rank + 1))
+    g = reg.gauge("repro_depth", labels=labels)
+    g.set(depth + 2)  # push high water above the final value
+    g.set(depth)
+    h = reg.histogram("repro_lat_seconds", labels=labels, lo_exp=-2, hi_exp=0)
+    h.observe(0.2)
+    return reg.snapshot()
+
+
+def test_aggregator_merges_ranks_in_one_row():
+    agg = MetricsAggregator()
+    agg.add_snapshot(_rank_snapshot(0, 1.0), tag=0)
+    agg.add_snapshot(_rank_snapshot(1, 5.0), tag=1)
+    out = agg.result()
+    assert out["nfiles"] == 2
+    (counter,) = out["counters"]
+    assert counter["name"] == "repro_events"
+    assert counter["labels"] == {}  # rank label dropped
+    assert counter["value"] == 30.0
+    (gauge,) = out["gauges"]
+    assert gauge["min"] == 1.0 and gauge["max"] == 5.0
+    assert gauge["high_water"] == 7.0
+    assert gauge["contributors"] == 2
+    (hist,) = out["histograms"]
+    assert hist["count"] == 2
+    assert sum(hist["buckets"]) == 2
+
+
+def test_aggregator_rejects_kind_and_bounds_conflicts():
+    agg = MetricsAggregator()
+    agg.add_snapshot(_rank_snapshot(0, 1.0))
+    reg = MetricsRegistry()
+    reg.gauge("repro_events", labels={"rank": "9"}).set(1)
+    with pytest.raises(ValueError, match="counter in one file"):
+        agg.add_snapshot(reg.snapshot())
+
+    agg2 = MetricsAggregator()
+    agg2.add_snapshot(_rank_snapshot(0, 1.0))
+    reg2 = MetricsRegistry()
+    reg2.histogram("repro_lat_seconds", labels={"rank": "9"},
+                   lo_exp=-4, hi_exp=0).observe(0.2)
+    with pytest.raises(ValueError, match="bounds differ"):
+        agg2.add_snapshot(reg2.snapshot())
+
+
+def test_aggregator_empty_and_bad_version():
+    with pytest.raises(ValueError, match="no snapshots"):
+        MetricsAggregator().result()
+    with pytest.raises(ValueError, match="version"):
+        MetricsAggregator().add_snapshot({"format_version": 99, "metrics": {}})
+
+
+def test_aggregate_files(tmp_path):
+    paths = []
+    for rank in range(3):
+        p = tmp_path / f"rank{rank}.json"
+        p.write_text(json.dumps(_rank_snapshot(rank, float(rank))))
+        paths.append(p)
+    agg = aggregate_files(paths)
+    out = agg.result()
+    assert out["nfiles"] == 3
+    assert out["counters"][0]["value"] == 60.0
+    dest = tmp_path / "merged.json"
+    agg.save(dest)
+    assert json.loads(dest.read_text())["nfiles"] == 3

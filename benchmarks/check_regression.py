@@ -1,0 +1,89 @@
+"""CI benchmark-regression guard.
+
+Compares a freshly measured ``BENCH_simulator.json`` against the floor
+committed in the repository and fails (exit 1) when a guarded number
+regresses by more than the tolerance: ``engine_ping_pong.events_per_s``
+may not drop, and ``full_stack_lu.mean_s`` may not rise, by more than
+15% (CI machines are noisy; a real perf bug moves these far more).
+
+Usage (CI snapshots the committed file before the bench run rewrites
+it)::
+
+    cp BENCH_simulator.json /tmp/bench_floor.json
+    pytest benchmarks/test_simulator_performance.py --benchmark-only
+    python benchmarks/check_regression.py \\
+        --floor /tmp/bench_floor.json --current BENCH_simulator.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (block, key, direction) -- "higher" means bigger is better.
+CHECKS = (
+    ("engine_ping_pong", "events_per_s", "higher"),
+    ("full_stack_lu", "mean_s", "lower"),
+)
+DEFAULT_TOLERANCE = 0.15
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks/check_regression.py",
+        description="Fail when benchmark numbers regress past the "
+        "committed floor.",
+    )
+    parser.add_argument("--floor", required=True,
+                        help="committed BENCH_simulator.json (the floor)")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured BENCH_simulator.json")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional regression "
+                        "(default %(default)s)")
+    args = parser.parse_args(argv)
+
+    def load(path: str) -> dict:
+        # Measured blocks live under the "current" key; accept a bare
+        # top-level layout too so the tool works on extracted blocks.
+        with open(path) as fh:
+            data = json.load(fh)
+        return data.get("current", data)
+
+    floor = load(args.floor)
+    current = load(args.current)
+
+    failures = []
+    for block, key, direction in CHECKS:
+        ref = floor.get(block, {}).get(key)
+        got = current.get(block, {}).get(key)
+        name = f"{block}.{key}"
+        if ref is None or got is None:
+            print(f"SKIP {name}: missing from "
+                  f"{'floor' if ref is None else 'current'} file")
+            continue
+        if direction == "higher":
+            limit = ref * (1.0 - args.tolerance)
+            ok = got >= limit
+            verdict = f"{got:.6g} >= {limit:.6g}"
+        else:
+            limit = ref * (1.0 + args.tolerance)
+            ok = got <= limit
+            verdict = f"{got:.6g} <= {limit:.6g}"
+        status = "OK  " if ok else "FAIL"
+        print(f"{status} {name}: {verdict} (floor {ref:.6g}, "
+              f"tolerance {args.tolerance:.0%})")
+        if not ok:
+            failures.append(name)
+
+    if failures:
+        print(f"benchmark regression in: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Host-performance benchmark: sweep startup overhead with pool reuse.
+
+A CLI invocation renders several figures back to back, each its own
+``run_tasks`` sweep.  Before pool reuse every sweep forked a fresh
+``multiprocessing`` pool (process spawn + interpreter + ``import repro``
+per worker); with the persistent shared pool that cost is paid once per
+invocation.  This benchmark times a short *sequence* of small parallel
+sweeps both ways -- the realistic shape of ``repro.tools`` invocations --
+and records the ratio in ``BENCH_simulator.json``.
+
+Run with::
+
+    pytest benchmarks/test_sweep_startup.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import runner
+from repro.experiments.runner import (
+    Task,
+    run_tasks,
+    shutdown_shared_pool,
+)
+
+#: Sweeps per "CLI invocation" and points per sweep: small on purpose --
+#: startup overhead only matters when the work itself is short.
+SWEEPS = 4
+POINTS = 8
+
+
+def _point(x: int) -> int:  # module-level: picklable
+    return x * x
+
+
+def _sweep_sequence(reuse: bool) -> list[object]:
+    out: list[object] = []
+    for s in range(SWEEPS):
+        tasks = [Task(_point, (s * POINTS + i,)) for i in range(POINTS)]
+        out.extend(run_tasks(tasks, jobs=2, reuse_pool=reuse))
+    return out
+
+
+def test_sweep_pool_reuse(benchmark, bench_record, emit):
+    """Persistent pool vs fresh-pool-per-sweep on a figure-like workload."""
+    # Cold-pool reference: measured directly (benchmark fixtures time one
+    # callable; the comparison partner is timed by hand around it).
+    shutdown_shared_pool()
+    t0 = time.perf_counter()
+    cold_results = _sweep_sequence(reuse=False)
+    cold_s = time.perf_counter() - t0
+
+    spawns_before = runner.pool_spawns
+    shutdown_shared_pool()
+
+    def warm() -> list[object]:
+        return _sweep_sequence(reuse=True)
+
+    warm_results = benchmark.pedantic(warm, rounds=3, iterations=1)
+    assert warm_results == cold_results  # reuse changes nothing observable
+    # The whole benchmark (3 rounds x SWEEPS sweeps) spawned exactly one
+    # pool; the cold path spawns one per sweep by construction.
+    assert runner.pool_spawns - spawns_before == 1
+    shutdown_shared_pool()
+
+    warm_s = benchmark.stats.stats.mean
+    bench_record["sweep_pool_reuse"] = {
+        "sweeps": SWEEPS,
+        "points_per_sweep": POINTS,
+        "cold_pool_s": round(cold_s, 6),
+        "warm_pool_s": round(warm_s, 6),
+        "startup_speedup": round(cold_s / warm_s, 2),
+    }
+    emit(
+        "sweep_startup",
+        f"sweep startup overhead ({SWEEPS} sweeps x {POINTS} points, jobs=2):\n"
+        f"  fresh pool per sweep  {cold_s * 1e3:.1f} ms\n"
+        f"  persistent pool       {warm_s * 1e3:.1f} ms\n"
+        f"  speedup               {cold_s / warm_s:.2f}x",
+    )
+    assert warm_s < cold_s  # reuse must actually reduce startup overhead

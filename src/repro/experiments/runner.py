@@ -27,6 +27,7 @@ picklable values -- return plain data or ``to_dict()`` payloads, never
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
 import json
@@ -219,6 +220,51 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 # Execution
 # ---------------------------------------------------------------------------
+# Persistent worker pool, shared across run_tasks / overlap_sweep_parallel
+# calls within one process.  A CLI invocation typically renders several
+# figures back to back, each a sweep of its own; spinning a fresh pool per
+# sweep pays process fork + interpreter/import startup every time, which
+# for cached-or-small sweeps dominates the sweep itself (see
+# ``benchmarks/test_sweep_startup.py``).  The pool is keyed by its worker
+# count: asking for a different ``jobs`` value retires the old pool.
+_shared_pool: "multiprocessing.pool.Pool | None" = None
+_shared_pool_procs = 0
+#: Pools ever constructed by :func:`_get_shared_pool` (startup-overhead
+#: observability; the paired benchmark asserts reuse through this).
+pool_spawns = 0
+
+
+def _get_shared_pool(processes: int) -> "multiprocessing.pool.Pool":
+    """Return the process-wide pool, (re)building it if the size changed."""
+    global _shared_pool, _shared_pool_procs, pool_spawns
+    if _shared_pool is not None and _shared_pool_procs == processes:
+        return _shared_pool
+    shutdown_shared_pool()
+    _shared_pool = multiprocessing.get_context().Pool(processes=processes)
+    _shared_pool_procs = processes
+    pool_spawns += 1
+    return _shared_pool
+
+
+def shutdown_shared_pool() -> None:
+    """Terminate the shared worker pool (no-op when none is alive).
+
+    Registered via :mod:`atexit`; call it explicitly to reclaim the
+    workers early (e.g. at the end of a long-lived service's sweep phase)
+    or after a worker-side crash left the pool in a doubtful state.
+    """
+    global _shared_pool, _shared_pool_procs
+    pool = _shared_pool
+    _shared_pool = None
+    _shared_pool_procs = 0
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_shared_pool)
+
+
 def _run_task(task: Task) -> object:  # worker-side entry point
     return task.run()
 
@@ -240,6 +286,7 @@ def run_tasks(
     jobs: "int | None" = None,
     cache: "ResultCache | None" = None,
     progress: "SweepProgress | None" = None,
+    reuse_pool: bool = True,
 ) -> list[object]:
     """Run ``tasks`` and return their results **in task order**.
 
@@ -252,10 +299,17 @@ def run_tasks(
     their measured duration as results stream back -- and is
     ``finish()``-ed before returning.
 
+    ``reuse_pool`` (default on) keeps the worker pool alive between calls
+    (same ``jobs`` value -> same pool), so a CLI invocation that renders
+    several sweeps pays process startup once; pass ``False`` to get a
+    private pool torn down on return.  A task that raises retires the
+    shared pool (the surviving workers' state is no longer trusted)
+    before the exception propagates.
+
     Determinism: results are positionally identical to a serial run
-    regardless of ``jobs``, cache state, or progress publication, because
-    every task is an independent pure function and the pool uses ordered
-    ``imap``.
+    regardless of ``jobs``, cache state, pool reuse, or progress
+    publication, because every task is an independent pure function and
+    the pool uses ordered ``imap``.
     """
     tasks = list(tasks)
     results: list[object] = [None] * len(tasks)
@@ -292,6 +346,21 @@ def run_tasks(
             if progress is not None:
                 progress.task_done(dur, name=_task_name(tasks[i]))
             timed.append((dur, value))
+    elif reuse_pool:
+        pool = _get_shared_pool(jobs)
+        timed = []
+        try:
+            for i, (dur, value) in zip(
+                pending,
+                pool.imap(_run_task_timed, [tasks[i] for i in pending],
+                          chunksize=1),
+            ):
+                if progress is not None:
+                    progress.task_done(dur, name=_task_name(tasks[i]))
+                timed.append((dur, value))
+        except BaseException:
+            shutdown_shared_pool()
+            raise
     else:
         ctx = multiprocessing.get_context()
         with ctx.Pool(processes=min(jobs, len(pending))) as pool:
@@ -360,6 +429,7 @@ def overlap_sweep_parallel(
     warmup: int = 3,
     jobs: "int | None" = None,
     cache: "ResultCache | None" = None,
+    reuse_pool: bool = True,
 ) -> list:
     """:func:`repro.experiments.micro.overlap_sweep`, fanned and cached.
 
@@ -380,7 +450,9 @@ def overlap_sweep_parallel(
         for compute in compute_times
     ]
     points = []
-    for compute, sender_d, receiver_d in run_tasks(tasks, jobs=jobs, cache=cache):
+    for compute, sender_d, receiver_d in run_tasks(
+        tasks, jobs=jobs, cache=cache, reuse_pool=reuse_pool
+    ):
         points.append(
             MicroPoint(
                 compute_time=compute,

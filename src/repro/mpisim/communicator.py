@@ -77,6 +77,11 @@ class Comm:
         self.comm_id = comm_id
         self._gep = _GroupEndpoint(endpoint, self.group, comm_id)
         self._split_seq = 0
+        # Hot-path caches for _call: one attribute load instead of three
+        # per library call (the endpoint's monitor and config never change).
+        self._mon = endpoint.monitor
+        self._ovh_per_event = endpoint.config.overhead_per_event
+        self._elapse = endpoint.engine.elapse
 
     @property
     def rank(self) -> int:
@@ -111,16 +116,18 @@ class Comm:
     # -- call demarcation ----------------------------------------------------
     def _call(self, name: str, body: typing.Generator) -> typing.Generator:
         """Run ``body`` inside one instrumented library call."""
-        mon = self.ep.monitor
+        mon = self._mon
         n0 = mon.event_count
         mon.call_enter(name)
         result = yield from body
         stamped = mon.event_count - n0
         if stamped:
             # +1 for the CALL_EXIT about to be stamped.
-            debt = (stamped + 1) * self.ep.config.overhead_per_event
+            debt = (stamped + 1) * self._ovh_per_event
             if debt > 0:
-                yield self.ep.busy(debt)
+                t = self._elapse(debt)
+                if t is not None:
+                    yield t
         mon.call_exit(name)
         return result
 

@@ -16,10 +16,18 @@ from __future__ import annotations
 
 import typing
 
+import numpy as np
+
 from repro.core.monitor import Monitor, NullMonitor
 from repro.mpisim.config import MpiConfig
 from repro.mpisim.matching import MatchingEngine, UnexpectedMsg
-from repro.mpisim.packets import CtsPacket, EagerPacket, FinPacket, RtsPacket
+from repro.mpisim.packets import (
+    CtsPacket,
+    EagerPacket,
+    FinPacket,
+    RtsPacket,
+    is_control_packet,
+)
 from repro.mpisim.request import Request
 from repro.mpisim.status import ANY_SOURCE, ANY_TAG, MpiError, Status
 from repro.netsim.fabric import Fabric
@@ -169,11 +177,41 @@ class Endpoint:
         costs one ``poll_cost`` (the check itself).  Handlers may consume
         further CPU (copies, pinning, posting).
         """
-        timeout = self.engine.timeout
+        elapse = self.engine.elapse
         poll_cost = self.params.poll_cost
         nics = self.nics
-        yield timeout(poll_cost)
+        t = elapse(poll_cost)
+        if t is not None:
+            yield t
         progressed = False
+        if len(nics) == 1:
+            # Single-rail fast path: the overwhelmingly common topology, and
+            # this generator is the hottest in the library -- skip the rail
+            # scan and the per-item kind tuple.  Drain order (CQ before
+            # inbound, one poll_cost per item) is identical to the general
+            # path below.
+            nic = nics[0]
+            cq = nic.cq
+            inbound = nic.inbound
+            while True:
+                if cq:
+                    progressed = True
+                    t = elapse(poll_cost)
+                    if t is not None:
+                        yield t
+                    action = cq.popleft().context
+                    if action is not None:
+                        result = action()
+                        if result is not None:
+                            yield from result
+                elif inbound:
+                    progressed = True
+                    t = elapse(poll_cost)
+                    if t is not None:
+                        yield t
+                    yield from self._dispatch_packet(inbound.popleft())
+                else:
+                    return progressed
         while True:
             item: tuple[str, object] | None = None
             for nic in nics:
@@ -186,7 +224,9 @@ class Endpoint:
             if item is None:
                 break
             progressed = True
-            yield timeout(poll_cost)
+            t = elapse(poll_cost)
+            if t is not None:
+                yield t
             kind, payload = item
             if kind == "cq":
                 action = payload.context  # type: ignore[union-attr]
@@ -246,7 +286,9 @@ class Endpoint:
         event -- bounding case 3.  Rank-to-self messages moved no network
         bytes and stamp nothing.
         """
-        yield self.busy(self.params.copy_time(nbytes))
+        t = self.engine.elapse(self.params.copy_time(nbytes))
+        if t is not None:
+            yield t
         if src != self.rank:
             self.monitor.xfer_end_only(nbytes)
         req.complete(Status(src, tag, nbytes), data)
@@ -328,8 +370,12 @@ class Endpoint:
         buffer); MVAPICH2 RDMA-writes into the receiver's pre-registered
         buffers with a notification (local completion at remote placement).
         """
-        yield self.busy(self.params.copy_time(nbytes))
-        yield self.busy(self.params.post_cost)
+        t = self.engine.elapse(self.params.copy_time(nbytes))
+        if t is not None:
+            yield t
+        t = self.engine.elapse(self.params.post_cost)
+        if t is not None:
+            yield t
         xid = self.monitor.xfer_begin(nbytes)
         pkt = EagerPacket(self.next_seq(), self.rank, tag, nbytes,
                           _buffer_snapshot(data), context)
@@ -358,7 +404,9 @@ class Endpoint:
         context: int = 0,
     ) -> typing.Generator:
         """Rank-to-self message: a local copy, no network, no XFER events."""
-        yield self.busy(self.params.copy_time(nbytes))
+        t = self.engine.elapse(self.params.copy_time(nbytes))
+        if t is not None:
+            yield t
         snapshot = _buffer_snapshot(data)
         posted = self.matching.match_arrival(self.rank, tag, context)
         if posted is not None:
@@ -422,13 +470,27 @@ class Endpoint:
                 yield self.wait_any_activity()
 
     def wait(self, req: Request) -> typing.Generator:
-        """Drive one request to completion; returns its :class:`Status`."""
-        yield from self.progress_until(lambda: req.done)
+        """Drive one request to completion; returns its :class:`Status`.
+
+        The ``progress_until`` loop is inlined (no predicate closure): wait
+        is the hottest blocking entry point in the library.
+        """
+        while not req.done:
+            progressed = yield from self.poll()
+            if req.done:
+                break
+            if not progressed:
+                yield self.wait_any_activity()
         return req.status
 
     def wait_all(self, reqs: typing.Sequence[Request]) -> typing.Generator:
         """Drive several requests to completion; returns their statuses."""
-        yield from self.progress_until(lambda: all(r.done for r in reqs))
+        while not all(r.done for r in reqs):
+            progressed = yield from self.poll()
+            if all(r.done for r in reqs):
+                break
+            if not progressed:
+                yield self.wait_any_activity()
         return [r.status for r in reqs]
 
     def wait_any(self, reqs: typing.Sequence[Request]) -> typing.Generator:
@@ -544,7 +606,13 @@ class Endpoint:
 
     def send_control(self, dest: int, payload: object) -> typing.Generator:
         """Post a control packet (costs one descriptor post)."""
-        yield self.busy(self.params.post_cost)
+        if not is_control_packet(payload):
+            raise MpiError(
+                f"non-control payload routed at control size: {payload!r}"
+            )
+        t = self.engine.elapse(self.params.post_cost)
+        if t is not None:
+            yield t
         self.nics[0].post_send(
             self.nic_for(dest), self.control_size, payload, context=None
         )
@@ -553,8 +621,6 @@ class Endpoint:
 def _buffer_snapshot(data: object) -> object:
     """Model send-buffer capture: numpy arrays are copied (the library may
     buffer them); immutable payloads pass through."""
-    import numpy as np
-
     if isinstance(data, np.ndarray):
         return data.copy()
     if isinstance(data, bytearray):

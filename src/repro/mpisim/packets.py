@@ -61,3 +61,18 @@ class FinPacket(typing.NamedTuple):
     src: int
     to_sender: bool
     data: object
+
+
+def is_control_packet(payload: object) -> bool:
+    """True when ``payload`` moves no user-message bytes on the wire.
+
+    CTS and FIN are always control; an RTS is control unless a pipelined
+    first fragment rides along (``frag_nbytes > 0``).  ``data`` fields on
+    control packets carry zero-copy buffer *references* for the simulation,
+    not wire bytes, so they do not affect the classification.
+    """
+    if isinstance(payload, (CtsPacket, FinPacket)):
+        return True
+    if isinstance(payload, RtsPacket):
+        return payload.frag_nbytes <= 0
+    return False

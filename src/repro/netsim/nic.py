@@ -26,6 +26,16 @@ import typing
 from repro.netsim.params import NetworkParams
 from repro.sim import Engine, Event
 
+# Per-NIC burst streams (see ``Nic._burst_at``).  Each stream's completion
+# times are monotone non-decreasing by construction, which is what lets a
+# contiguous run coalesce into one Burst macro-event:
+#  * TX -- local send completions, paced by ``tx_busy_until``;
+#  * RX -- arrivals/placements at this NIC, paced by ``rx_busy_until``;
+#  * CTL -- RDMA-read requests, ``now`` + a constant request latency.
+_STREAM_TX = 0
+_STREAM_RX = 1
+_STREAM_CTL = 2
+
 
 class CompletionKind(enum.Enum):
     """What a completion-queue entry signifies."""
@@ -98,6 +108,10 @@ class Nic:
         #: Completion queue, awaiting a host poll.
         self.cq: "collections.deque[CompletionEntry]" = collections.deque()
         self._waiters: list[Event] = []
+        #: Whether completions ride the burst macro-event fast path.
+        self._fast = params.network_path == "fast"
+        #: Open burst per stream (TX / RX / CTL), created lazily.
+        self._bursts: "list[object | None]" = [None, None, None]
         # Traffic counters (diagnostics / tests).
         self.bytes_sent = 0.0
         self.bytes_received = 0.0
@@ -131,15 +145,42 @@ class Nic:
                 ev.succeed()
 
     def _at(self, when: float, fn: typing.Callable[[Event], None]) -> None:
-        """Run ``fn`` at absolute simulation time ``when``.
+        """Run ``fn`` at absolute simulation time ``when`` (per-packet path).
 
-        ``fn`` receives (and ignores) the timeout event, which lets it be
-        registered directly as a callback -- no adapter closure per
+        ``fn`` receives (and ignores) the completion event, which lets it
+        be registered directly as a callback -- no adapter closure per
         scheduled completion.
         """
-        delay = when - self.engine.now
-        t = self.engine.timeout(max(0.0, delay))
-        t.callbacks.append(fn)  # type: ignore[union-attr]
+        engine = self.engine
+        if when < engine.now:
+            when = engine.now
+        engine.post_at(when).callbacks.append(fn)  # type: ignore[union-attr]
+
+    def _burst_at(
+        self, stream: int, when: float, fn: typing.Callable[[Event], None]
+    ) -> None:
+        """Fast path: append a completion to this NIC's ``stream`` burst.
+
+        Sub-events allocate their engine sequence number here, at the same
+        program point :meth:`_at` would, and the engine retires them in
+        exact global ``(when, seq)`` order -- so coalescing is invisible to
+        everything above the NIC.  If the stream's open burst cannot
+        tail-extend (``when`` regressed, which the monotone stream clocks
+        make rare-to-impossible), the burst is closed and a fresh one
+        opened: per-packet behavior is the degenerate one-sub-burst case.
+        """
+        engine = self.engine
+        if when < engine.now:
+            when = engine.now
+        burst = self._bursts[stream]
+        if burst is None:
+            burst = self._bursts[stream] = engine.new_burst()
+        ev = burst.try_at(when)
+        if ev is None:
+            burst.close()
+            burst = self._bursts[stream] = engine.new_burst()
+            ev = burst.try_at(when)
+        ev.callbacks.append(fn)  # type: ignore[union-attr]
 
     # -- timing helpers ------------------------------------------------------
     def _latency(self) -> float:
@@ -199,8 +240,12 @@ class Nic:
             dst.messages_received += 1
             dst._kick()
 
-        self._at(tx_end, local_complete)
-        self._at(arrival, deliver)
+        if self._fast:
+            self._burst_at(_STREAM_TX, tx_end, local_complete)
+            dst._burst_at(_STREAM_RX, arrival, deliver)
+        else:
+            self._at(tx_end, local_complete)
+            self._at(arrival, deliver)
         self._record(dst, nbytes, tx_end, arrival, "send")
 
     def post_rdma_write(
@@ -237,9 +282,15 @@ class Nic:
             )
             self._kick()
 
-        self._at(arrival, remote_placed)
-        # Reliable-connection semantics: local completion once remotely placed.
-        self._at(arrival, local_complete)
+        if self._fast:
+            dst._burst_at(_STREAM_RX, arrival, remote_placed)
+            # Reliable-connection semantics: local completion once remotely
+            # placed -- same arrival instant, so it rides the same burst.
+            dst._burst_at(_STREAM_RX, arrival, local_complete)
+        else:
+            self._at(arrival, remote_placed)
+            # Reliable-connection semantics: local completion once remotely placed.
+            self._at(arrival, local_complete)
         self._record(dst, nbytes, tx_end, arrival, "rdma_write")
 
     def post_rdma_read(
@@ -274,11 +325,18 @@ class Nic:
                 )
                 self._kick()
 
-            target._at(arrival, data_arrived)
+            if self._fast:
+                # Data lands at the initiator, paced by its RX port.
+                self._burst_at(_STREAM_RX, arrival, data_arrived)
+            else:
+                target._at(arrival, data_arrived)
             # The read moves data target -> initiator.
             target._record(self, nbytes, tx_end, arrival, "rdma_read")
 
-        self._at(request_arrival, service_read)
+        if self._fast:
+            self._burst_at(_STREAM_CTL, request_arrival, service_read)
+        else:
+            self._at(request_arrival, service_read)
 
     def _record(
         self, dst: "Nic", nbytes: float, tx_end: float, arrival: float, kind: str

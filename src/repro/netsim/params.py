@@ -49,6 +49,11 @@ class NetworkParams:
     #: remain reproducible.  Used to check that the bounding algorithm's
     #: invariants are not artifacts of a perfectly regular network.
     latency_jitter_frac: float = 0.0
+    #: Network scheduling path: ``"fast"`` coalesces contiguous runs of
+    #: same-stream completions into burst macro-events (bit-identical
+    #: timestamps, fewer scheduler operations -- see docs/performance.md);
+    #: ``"packet"`` schedules every completion individually.
+    network_path: str = "fast"
 
     def wire_time(self, nbytes: float) -> float:
         """Serialization time of ``nbytes`` on one NIC port."""
@@ -68,9 +73,15 @@ class NetworkParams:
 
     def __post_init__(self) -> None:
         for field in dataclasses.fields(self):
+            if field.name == "network_path":
+                continue
             value = getattr(self, field.name)
             if value < 0:
                 raise ValueError(f"{field.name} must be non-negative, got {value}")
+        if self.network_path not in ("fast", "packet"):
+            raise ValueError(
+                f"network_path must be 'fast' or 'packet', got {self.network_path!r}"
+            )
         if self.bandwidth <= 0 or self.host_copy_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
         if self.latency_jitter_frac >= 1.0:

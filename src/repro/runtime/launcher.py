@@ -73,10 +73,21 @@ def default_xfer_table(params: NetworkParams) -> XferTable:
     Experiments that want the full measured pipeline use
     :func:`repro.experiments.micro.build_xfer_table`.
     """
-    sizes = [float(2**k) for k in range(0, 24)]
-    return XferTable.from_model(
-        params.latency + params.per_message_overhead, params.bandwidth, sizes
-    )
+    key = (params.latency, params.per_message_overhead, params.bandwidth)
+    table = _xfer_table_cache.get(key)
+    if table is None:
+        sizes = [float(2**k) for k in range(0, 24)]
+        table = XferTable.from_model(
+            params.latency + params.per_message_overhead, params.bandwidth, sizes
+        )
+        if len(_xfer_table_cache) < 64:
+            _xfer_table_cache[key] = table
+    return table
+
+
+#: Memo for :func:`default_xfer_table` -- sweeps re-run many apps on the
+#: same parameters, and the table (and its internal memo) is immutable.
+_xfer_table_cache: "dict[tuple[float, float, float], XferTable]" = {}
 
 
 def run_app(

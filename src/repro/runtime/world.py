@@ -53,7 +53,9 @@ class RankContext:
             raise ValueError(f"negative compute time {seconds!r}")
         if seconds > 0:
             start = self.engine.now
-            yield self.engine.timeout(seconds)
+            t = self.engine.elapse(seconds)
+            if t is not None:
+                yield t
             self.compute_log.append((start, self.engine.now))
 
     def section(self, name: str):

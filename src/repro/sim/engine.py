@@ -1,16 +1,132 @@
-"""The simulation engine: clock + event heap + run loop."""
+"""The simulation engine: clock + pending-event store + run loop.
+
+Three mechanisms beyond the classic heap loop, all preserving the exact
+``(when, seq)`` total order that makes simulations pure functions of their
+inputs:
+
+* **Burst macro-events** (:class:`Burst`): a time-ordered train of
+  lightweight sub-events scheduled as *one* pending entry.  The run loop
+  retires sub-events in exact global order, yielding the remainder back to
+  the store whenever a competing entry has a smaller key, so callback
+  execution order -- and therefore every observable timestamp -- is
+  bit-identical to posting each sub-event individually.  The network layer
+  uses this to coalesce contiguous same-flow packet trains.
+* **Lazy timeout cancellation**: :meth:`repro.sim.events.Timeout.cancel`
+  marks the event dead in O(1); the run loop discards dead entries when
+  popped, and the store is bulk-compacted once dead entries dominate, so
+  wait-heavy workloads that abandon guard timeouts keep a bounded pending
+  population.
+* **Calendar-queue scheduling**: above :data:`CALENDAR_ENGAGE` pending
+  entries the heap is migrated into a
+  :class:`~repro.sim.calendar.CalendarQueue` (O(1) amortized scheduling);
+  below :data:`CALENDAR_COLLAPSE` it collapses back to the plain heap,
+  which is faster for small populations.
+"""
 
 from __future__ import annotations
 
+import gc
 import heapq
 import time
 import typing
 
+from repro.sim.calendar import CalendarQueue
 from repro.sim.events import Event, SimulationError, Timeout
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.metrics import MetricsRegistry
     from repro.sim.process import Process
+
+_INF = float("inf")
+
+#: Pending-entry count above which the heap migrates to a calendar queue.
+CALENDAR_ENGAGE = 4096
+#: Pending-entry count below which the calendar collapses back to a heap.
+CALENDAR_COLLAPSE = 512
+
+# Burst lifecycle: not scheduled (accepting tail subs) / scheduled in the
+# pending store / currently being retired by the run loop.
+_BURST_IDLE = 0
+_BURST_QUEUED = 1
+_BURST_RUNNING = 2
+
+
+class Burst:
+    """A macro-event: a time-ordered train of sub-events, scheduled as one.
+
+    Producers (the NIC fast path) append sub-events with :meth:`try_at`;
+    each append allocates the engine sequence number at the same program
+    point a per-packet ``post`` would, and the run loop retires sub-events
+    in exact ``(when, seq)`` order -- so a burst is observationally
+    identical to posting every sub-event individually, at the cost of one
+    pending-store entry instead of one per packet.
+
+    ``callbacks`` is a permanent class-level ``None``: the run loop's
+    existing ``event.callbacks`` load doubles as the macro-event
+    discriminant, keeping the common dispatch path check-free.
+    """
+
+    callbacks = None  # class-level: run-loop discriminant, never assigned
+    __slots__ = ("engine", "subs", "idx", "state", "closed", "last_when")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        #: Sub-event entries ``(when, seq, event)``, sorted by construction.
+        self.subs: list[tuple[float, int, Event]] = []
+        #: Index of the next unretired sub-event.
+        self.idx = 0
+        self.state = _BURST_IDLE
+        self.closed = False
+        self.last_when = -_INF
+
+    def try_at(self, when: float) -> "Event | None":
+        """Append a sub-event at absolute time ``when``; return it.
+
+        Returns ``None`` when the burst cannot accept the sub-event --
+        it is closed, or ``when`` precedes the current tail (bursts only
+        tail-extend; an out-of-order time means the producer must close
+        this burst and open a new one, or fall back to a plain post).
+        The returned event is already triggered (like a ``Timeout``);
+        attach callbacks to its ``callbacks`` list.
+        """
+        if self.closed or when < self.last_when:
+            return None
+        engine = self.engine
+        ev = Event.__new__(Event)
+        ev.engine = engine
+        ev.callbacks = []
+        ev._value = None
+        ev._ok = True
+        ev._defused = False
+        seq = engine._seq
+        engine._seq = seq + 1
+        self.subs.append((when, seq, ev))
+        self.last_when = when
+        if self.state == _BURST_IDLE:
+            engine._post_entry(when, seq, self)
+            self.state = _BURST_QUEUED
+        elif self.state == _BURST_RUNNING and when < engine._floor:
+            # Appended behind a mid-retirement cursor with no next sub yet
+            # recorded: expose it to elapse() so inline time advances
+            # cannot jump past it.
+            engine._floor = when
+        return ev
+
+    def close(self) -> None:
+        """Refuse further sub-events; pending ones still retire normally."""
+        self.closed = True
+
+    @property
+    def pending(self) -> int:
+        """Number of appended sub-events not yet retired."""
+        return len(self.subs) - self.idx
+
+    def __repr__(self) -> str:
+        state = ("idle", "queued", "running")[self.state]
+        return (
+            f"<Burst {state}{' closed' if self.closed else ''} "
+            f"pending={self.pending} at {id(self):#x}>"
+        )
 
 
 class Engine:
@@ -25,11 +141,34 @@ class Engine:
         #: Current simulation time in seconds.
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
+        #: Calendar-queue store, engaged above CALENDAR_ENGAGE pending
+        #: entries (exactly one of heap/calendar holds entries at a time).
+        self._cal: CalendarQueue | None = None
         self._seq: int = 0
+        #: Cancelled timeouts still awaiting lazy removal from the store.
+        self._dead_pending: int = 0
         #: Number of events processed so far (useful for tests/diagnostics).
         self.processed_count: int = 0
-        #: Largest pending-event heap ever reached.
+        #: Largest pending-event population ever reached.
         self.heap_high_water: int = 0
+        #: Total timeouts withdrawn via :meth:`Timeout.cancel`.
+        self.cancelled_count: int = 0
+        #: Total :class:`Burst` macro-events created.
+        self.bursts_opened: int = 0
+        #: Times a burst yielded its remainder back to the pending store.
+        self.burst_reinserts: int = 0
+        #: Key floor for :meth:`elapse` while a burst is mid-retirement:
+        #: the next sub-event's time (those subs are not in the store, so
+        #: the store minimum alone would over-approve inline advances).
+        self._floor: float = _INF
+        #: Depth of multi-callback dispatches in progress.  While an event
+        #: with several callbacks is being dispatched, :meth:`elapse` must
+        #: not advance time inline -- the remaining callbacks still have to
+        #: run at the current instant.
+        self._multi_cb: int = 0
+        #: Inline advances may not cross the active ``run(until=...)``
+        #: boundary; -inf disables them entirely (event-bounded runs).
+        self._until: float = _INF
 
     def attach_metrics(
         self,
@@ -47,11 +186,11 @@ class Engine:
             "repro_engine_events_processed", lambda: self.processed_count,
             "Simulation events popped and dispatched", labels)
         metrics.sampled_gauge(
-            "repro_engine_heap_size", lambda: len(self._heap),
+            "repro_engine_heap_size", lambda: self.pending_count,
             "Pending simulation events", labels)
         metrics.sampled_gauge(
             "repro_engine_heap_hiwater", lambda: self.heap_high_water,
-            "Largest pending-event heap ever reached", labels)
+            "Largest pending-event population ever reached", labels)
         metrics.sampled_gauge(
             "repro_engine_sim_time_seconds", lambda: self.now,
             "Current simulation clock", labels)
@@ -60,19 +199,195 @@ class Engine:
             lambda: self.now / max(time.perf_counter() - host_t0, 1e-9),
             "Simulated-time advance rate since metrics were attached",
             labels)
+        metrics.sampled_counter(
+            "repro_engine_timeouts_cancelled", lambda: self.cancelled_count,
+            "Timeouts withdrawn before firing", labels)
+        metrics.sampled_counter(
+            "repro_engine_bursts_opened", lambda: self.bursts_opened,
+            "Macro-event bursts created by the network fast path", labels)
+        metrics.sampled_counter(
+            "repro_engine_burst_reinserts", lambda: self.burst_reinserts,
+            "Burst remainders yielded back to the pending store", labels)
+        metrics.sampled_gauge(
+            "repro_engine_calendar_active",
+            lambda: 1.0 if self._cal is not None else 0.0,
+            "Whether the calendar-queue store is currently engaged", labels)
 
     # -- scheduling -------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of pending entries (macro-events count once)."""
+        cal = self._cal
+        return len(self._heap) + (cal.n if cal is not None else 0)
+
     def _post(self, event: Event, delay: float = 0.0) -> None:
-        """Schedule a triggered event for processing ``delay`` from now."""
+        """Schedule a triggered event for processing ``delay`` from now.
+
+        Body duplicates :meth:`_post_entry` (minus the caller-allocated
+        sequence number): this is the single hottest call in the kernel,
+        and the extra frame showed up in profiles.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        cal = self._cal
+        if cal is not None:
+            cal.push(self.now + delay, seq, event)
+            if cal.n > self.heap_high_water:
+                self.heap_high_water = cal.n
+            return
         heap = self._heap
-        heapq.heappush(heap, (self.now + delay, self._seq, event))
-        self._seq += 1
-        if len(heap) > self.heap_high_water:
-            self.heap_high_water = len(heap)
+        heapq.heappush(heap, (self.now + delay, seq, event))
+        n = len(heap)
+        if n > self.heap_high_water:
+            self.heap_high_water = n
+        if n > CALENDAR_ENGAGE:
+            self._cal = CalendarQueue(heap)
+            del heap[:]
+
+    def _post_entry(self, when: float, seq: int, item: object) -> None:
+        """Insert an entry with a caller-allocated sequence number."""
+        cal = self._cal
+        if cal is not None:
+            cal.push(when, seq, item)
+            if cal.n > self.heap_high_water:
+                self.heap_high_water = cal.n
+            return
+        heap = self._heap
+        heapq.heappush(heap, (when, seq, item))
+        n = len(heap)
+        if n > self.heap_high_water:
+            self.heap_high_water = n
+        if n > CALENDAR_ENGAGE:
+            # Migrate into a calendar queue sized/paced from the current
+            # population.  The heap *list object* is kept (run() holds a
+            # local alias) but emptied, which is what flips active loops
+            # over to the calendar path.
+            self._cal = CalendarQueue(heap)
+            del heap[:]
+
+    def post_at(self, when: float, value: object = None) -> Event:
+        """Schedule a fresh already-triggered event at absolute time ``when``.
+
+        The workhorse of analytically-timed layers (the NIC): unlike
+        :meth:`timeout`, the completion time is passed absolutely, so the
+        float stored in the schedule is exactly ``when`` with no
+        ``now + (when - now)`` round-trip.  Attach callbacks to the
+        returned event's ``callbacks`` list.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"post_at({when!r}) is in the past (now={self.now!r})"
+            )
+        ev = Event.__new__(Event)
+        ev.engine = self
+        ev.callbacks = []
+        ev._value = value
+        ev._ok = True
+        ev._defused = False
+        seq = self._seq
+        self._seq = seq + 1
+        self._post_entry(when, seq, ev)
+        return ev
+
+    def new_burst(self) -> Burst:
+        """Open a :class:`Burst` macro-event for tail-appended sub-events."""
+        self.bursts_opened += 1
+        return Burst(self)
+
+    def _cancel(self, event: Event) -> bool:
+        """Withdraw a pending timeout (see :meth:`Timeout.cancel`).
+
+        Marks the event dead by clearing ``callbacks`` -- the run loop
+        discards dead entries when popped -- and bulk-compacts the store
+        once dead entries are a majority, bounding the pending population
+        of cancel-heavy workloads.  Note :attr:`peek` may report the time
+        of a dead entry until it is discarded.
+        """
+        if event.callbacks is None:
+            return False  # already fired (or already cancelled)
+        event.callbacks = None
+        self.cancelled_count += 1
+        dead = self._dead_pending = self._dead_pending + 1
+        if dead >= 64 and dead * 2 >= self.pending_count:
+            self._compact()
+        return True
+
+    def _dispatch_multi(self, callbacks: list, event: Event) -> None:
+        """Dispatch an event with several callbacks.
+
+        Split out of the run loops (which inline the one-callback fast
+        path) so the ``_multi_cb`` guard -- which keeps :meth:`elapse`
+        from advancing time while sibling callbacks still owe work at the
+        current instant -- costs nothing on the dominant case.
+        """
+        self._multi_cb += 1
+        try:
+            for cb in callbacks:
+                cb(event)
+        finally:
+            self._multi_cb -= 1
+
+    def _compact(self) -> None:
+        """Physically remove dead (cancelled) entries from the store."""
+        is_dead = lambda item: (  # noqa: E731 - tight closure, used twice
+            item.callbacks is None and item.__class__ is not Burst
+        )
+        cal = self._cal
+        if cal is not None:
+            cal.compact(is_dead)
+        else:
+            heap = self._heap
+            live = [e for e in heap if not is_dead(e[2])]
+            if len(live) != len(heap):
+                heap[:] = live
+                heapq.heapify(heap)
+        self._dead_pending = 0
 
     def timeout(self, delay: float, value: object = None) -> Timeout:
         """Create a :class:`Timeout` firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def elapse(self, delay: float) -> "Timeout | None":
+        """Advance time by ``delay`` inline when provably equivalent.
+
+        The caller's idiom is::
+
+            t = engine.elapse(dt)
+            if t is not None:
+                yield t
+
+        A process yielding ``timeout(dt)`` suspends, the timeout is pushed,
+        popped as the next event, and the process resumes -- a full
+        scheduler round-trip to do nothing but set ``now``.  When the
+        timeout would provably be the very next event dispatched (its key
+        ``(now + dt, next_seq)`` is strictly smaller than every pending
+        entry, no other callbacks of the current dispatch remain, and the
+        deadline is not crossed), this advances ``now`` directly and
+        returns ``None`` so the caller never suspends.  One sequence
+        number and one processed-count tick are consumed exactly as the
+        elided timeout would have, keeping event ordering, FIFO
+        tie-breaks, and engine metrics bit-identical to the unelided
+        schedule.  Otherwise a plain :class:`Timeout` is returned.
+        """
+        target = self.now + delay
+        if delay > 0.0 and self._multi_cb == 0 \
+                and target < self._floor and target <= self._until:
+            cal = self._cal
+            if cal is not None:
+                mk = cal.min_key()
+                if mk is None or target < mk[0]:
+                    self._seq += 1
+                    self.now = target
+                    self.processed_count += 1
+                    return None
+            else:
+                heap = self._heap
+                if not heap or target < heap[0][0]:
+                    self._seq += 1
+                    self.now = target
+                    self.processed_count += 1
+                    return None
+        return Timeout(self, delay)
 
     def event(self) -> Event:
         """Create a fresh untriggered :class:`Event`."""
@@ -87,26 +402,158 @@ class Engine:
     # -- run loop ---------------------------------------------------------
     @property
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next scheduled entry, or ``inf`` if none.
+
+        Lazy deletion caveat: a cancelled-but-not-yet-discarded timeout at
+        the head makes this report a time at which nothing will fire.
+        """
+        cal = self._cal
+        if cal is not None and cal.n:
+            return cal.min_key()[0]  # type: ignore[index]
+        return self._heap[0][0] if self._heap else _INF
+
+    def _retire_burst(
+        self,
+        burst: Burst,
+        stop_event: "Event | None",
+        deadline: float,
+    ) -> int:
+        """Retire a popped burst's sub-events in exact global order.
+
+        Each sub-event is dispatched only while its ``(when, seq)`` key is
+        the global minimum; at the first competing smaller key -- or a
+        deadline/stop-event boundary -- the remainder is re-inserted into
+        the pending store keyed at the next sub-event, exactly where the
+        equivalent individually-posted events would sit.  Returns 0 to
+        continue the run loop, 1 when the deadline was reached (``now`` is
+        already set), 2 when ``stop_event`` fired.
+        """
+        burst.state = _BURST_RUNNING
+        subs = burst.subs
+        heap = self._heap  # stable list object; emptied if calendar engages
+        i = burst.idx
+        processed = 0
+        status = 0
+        try:
+            # len(subs) is re-read every iteration: callbacks may append to
+            # this very burst while it runs.
+            while i < len(subs):
+                when, seq, event = subs[i]
+                if stop_event is not None and stop_event.callbacks is None:
+                    status = 2
+                    break
+                if when > deadline:
+                    self.now = deadline
+                    status = 1
+                    break
+                # Yield to any competing pending entry with a smaller key.
+                cal = self._cal
+                if cal is not None:
+                    mk = cal.min_key()
+                    if mk is not None and (
+                        mk[0] < when or (mk[0] == when and mk[1] < seq)
+                    ):
+                        break
+                elif heap:
+                    head = heap[0]
+                    hw = head[0]
+                    if hw < when or (hw == when and head[1] < seq):
+                        break
+                callbacks = event.callbacks
+                event.callbacks = None
+                self.now = when
+                # Sub-events i+1.. are not in the pending store while the
+                # burst retires, so elapse() needs an explicit floor (kept
+                # current by try_at for mid-callback appends).
+                self._floor = subs[i + 1][0] if i + 1 < len(subs) else _INF
+                if len(callbacks) == 1:  # type: ignore[arg-type]
+                    callbacks[0](event)  # type: ignore[index]
+                else:
+                    self._dispatch_multi(callbacks, event)  # type: ignore[arg-type]
+                processed += 1
+                i += 1
+                if not event._ok and not event._defused:
+                    raise typing.cast(BaseException, event._value)
+        finally:
+            self._floor = _INF
+            self.processed_count += processed
+            if i < len(subs):
+                if i > 256:  # trim the retired prefix so long flows stay O(live)
+                    del subs[:i]
+                    i = 0
+                burst.idx = i
+                nwhen, nseq, _ev = subs[i]
+                self._post_entry(nwhen, nseq, burst)
+                burst.state = _BURST_QUEUED
+                self.burst_reinserts += 1
+            else:
+                del subs[:]
+                burst.idx = 0
+                burst.state = _BURST_IDLE
+        return status
 
     def step(self) -> None:
-        """Process one event; raises :class:`EmptySchedule` when idle."""
-        if not self._heap:
-            raise EmptySchedule("no more events scheduled")
-        when, _seq, event = heapq.heappop(self._heap)
-        self.now = when
+        """Process one (sub-)event; raises :class:`EmptySchedule` when idle."""
+        while True:
+            cal = self._cal
+            if cal is not None and cal.n:
+                when, _seq, event = cal.pop()
+                if cal.n < CALENDAR_COLLAPSE:
+                    self._heap.extend(cal.drain())
+                    heapq.heapify(self._heap)
+                    self._cal = None
+            else:
+                self._cal = None
+                if not self._heap:
+                    raise EmptySchedule("no more events scheduled")
+                when, _seq, event = heapq.heappop(self._heap)
+            callbacks = event.callbacks
+            if callbacks is None:
+                if event.__class__ is Burst:
+                    self._step_burst(event)
+                    return
+                if self._dead_pending:  # cancelled timeout: discard
+                    self._dead_pending -= 1
+                continue
+            event.callbacks = None
+            self.now = when
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                self._dispatch_multi(callbacks, event)
+            self.processed_count += 1
+            if not event._ok and not event._defused:
+                raise typing.cast(BaseException, event._value)
+            return
+
+    def _step_burst(self, burst: Burst) -> None:
+        """step() helper: retire exactly one sub-event of a popped burst."""
+        subs = burst.subs
+        i = burst.idx
+        when, _seq, event = subs[i]
         callbacks = event.callbacks
         event.callbacks = None
-        assert callbacks is not None
-        for cb in callbacks:
-            cb(event)
+        self.now = when
+        i += 1
+        if i < len(subs):
+            burst.idx = i
+            nwhen, nseq, _ev = subs[i]
+            self._post_entry(nwhen, nseq, burst)
+            burst.state = _BURST_QUEUED
+        else:
+            del subs[:]
+            burst.idx = 0
+            burst.state = _BURST_IDLE
+        if len(callbacks) == 1:  # type: ignore[arg-type]
+            callbacks[0](event)  # type: ignore[index]
+        else:
+            self._dispatch_multi(callbacks, event)  # type: ignore[arg-type]
         self.processed_count += 1
         if not event._ok and not event._defused:
             raise typing.cast(BaseException, event._value)
 
     def run(self, until: "float | Event | None" = None) -> object:
-        """Run until the heap drains, a deadline passes, or an event fires.
+        """Run until the store drains, a deadline passes, or an event fires.
 
         ``until`` may be ``None`` (drain), a number (absolute simulation
         time), or an :class:`Event` (run until it is processed; returns its
@@ -116,10 +563,12 @@ class Engine:
         :meth:`step`: dispatching one event is a handful of operations, so
         per-event call/property overhead dominated the kernel profile.  The
         drain case (no deadline, no stop event -- what ``run_app`` uses)
-        additionally skips the head-of-heap checks entirely.
+        additionally skips the head-of-store checks entirely.  The outer
+        loop exists only to switch between the heap and calendar stores,
+        which happens at most a handful of times per run.
         """
         stop_event: Event | None = None
-        deadline = float("inf")
+        deadline = _INF
         if isinstance(until, Event):
             stop_event = until
         elif until is not None:
@@ -131,32 +580,172 @@ class Engine:
 
         heap = self._heap
         heappop = heapq.heappop
-        drain_only = stop_event is None and deadline == float("inf")
+        heapify = heapq.heapify
+        drain_only = stop_event is None and deadline == _INF
         processed = 0
+        stopped = False
+        # The loop allocates thousands of short-lived events per simulated
+        # millisecond; almost all die by refcount, but the process/event
+        # back-references form cycles, and generation-0 collections during
+        # the loop cost >10% of wall clock.  Suspend cyclic GC for the
+        # duration -- acyclic garbage is still freed immediately, and the
+        # cyclic remainder is collected at normal thresholds once the run
+        # returns.  (Restored in the ``finally`` even if a callback raised;
+        # nested/reentrant runs keep it suspended until the outermost one
+        # exits.)
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        # elapse() must not advance time past a float deadline; an
+        # event-bounded run disables it outright (the stop event may fire
+        # mid-dispatch, and inline advances skip the loop's stop check).
+        prev_until = self._until
+        self._until = -_INF if stop_event is not None else deadline
         try:
-            while heap:
-                if not drain_only:
-                    if stop_event is not None and stop_event.callbacks is None:
-                        break
-                    if heap[0][0] > deadline:
-                        self.now = deadline
-                        return None
-                # Fast path: the head is the only runnable event, so it can
-                # be popped directly without going through heapq.
-                if len(heap) == 1:
-                    when, _seq, event = heap.pop()
+            while True:
+                cal = self._cal
+                if cal is not None:
+                    # -- calendar-store loop (large pending populations) --
+                    while cal.n:
+                        if cal.n < CALENDAR_COLLAPSE:
+                            heap.extend(cal.drain())
+                            heapify(heap)
+                            self._cal = None
+                            break
+                        if not drain_only:
+                            if (
+                                stop_event is not None
+                                and stop_event.callbacks is None
+                            ):
+                                stopped = True
+                                break
+                            mk = cal.min_key()
+                            if mk is not None and mk[0] > deadline:
+                                self.now = deadline
+                                return None
+                        when, _seq, event = cal.pop()
+                        callbacks = event.callbacks
+                        if callbacks is None:
+                            if event.__class__ is Burst:
+                                status = self._retire_burst(
+                                    event, stop_event, deadline)
+                                if status == 1:
+                                    return None
+                                if status == 2:
+                                    stopped = True
+                                    break
+                            elif self._dead_pending:
+                                self._dead_pending -= 1
+                            continue
+                        event.callbacks = None
+                        self.now = when
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            self._dispatch_multi(callbacks, event)
+                        processed += 1
+                        if not event._ok and not event._defused:
+                            raise typing.cast(BaseException, event._value)
+                    else:
+                        self._cal = None  # drained empty
+                elif drain_only:
+                    # -- heap drain loop: no per-event boundary checks --
+                    while heap:
+                        # Fast path: the head is the only runnable event, so
+                        # it can be popped directly without going through
+                        # heapq.
+                        if len(heap) == 1:
+                            when, _seq, event = heap.pop()
+                        else:
+                            when, _seq, event = heappop(heap)
+                        callbacks = event.callbacks
+                        if callbacks is None:
+                            if event.__class__ is Burst:
+                                subs = event.subs
+                                if len(subs) - event.idx == 1:
+                                    # Single-sub burst: the popped entry's
+                                    # key IS the sub's key, so it is the
+                                    # global minimum and retires with no
+                                    # competing-entry check (the dominant
+                                    # case when flows interleave tightly).
+                                    when, _seq, sub = subs[event.idx]
+                                    del subs[:]
+                                    event.idx = 0
+                                    event.state = 0  # _BURST_IDLE
+                                    callbacks = sub.callbacks
+                                    sub.callbacks = None
+                                    self.now = when
+                                    if len(callbacks) == 1:  # type: ignore[arg-type]
+                                        callbacks[0](sub)  # type: ignore[index]
+                                    else:
+                                        self._dispatch_multi(
+                                            callbacks, sub)  # type: ignore[arg-type]
+                                    processed += 1
+                                    if not sub._ok and not sub._defused:
+                                        raise typing.cast(
+                                            BaseException, sub._value)
+                                else:
+                                    self._retire_burst(event, None, _INF)
+                            elif self._dead_pending:
+                                self._dead_pending -= 1
+                            continue
+                        event.callbacks = None
+                        self.now = when
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            self._dispatch_multi(callbacks, event)
+                        processed += 1
+                        if not event._ok and not event._defused:
+                            raise typing.cast(BaseException, event._value)
                 else:
-                    when, _seq, event = heappop(heap)
-                self.now = when
-                callbacks = event.callbacks
-                event.callbacks = None
-                assert callbacks is not None
-                for cb in callbacks:
-                    cb(event)
-                processed += 1
-                if not event._ok and not event._defused:
-                    raise typing.cast(BaseException, event._value)
+                    # -- heap loop with stop-event/deadline checks --
+                    while heap:
+                        if (
+                            stop_event is not None
+                            and stop_event.callbacks is None
+                        ):
+                            stopped = True
+                            break
+                        if heap[0][0] > deadline:
+                            self.now = deadline
+                            return None
+                        if len(heap) == 1:
+                            when, _seq, event = heap.pop()
+                        else:
+                            when, _seq, event = heappop(heap)
+                        callbacks = event.callbacks
+                        if callbacks is None:
+                            if event.__class__ is Burst:
+                                status = self._retire_burst(
+                                    event, stop_event, deadline)
+                                if status == 1:
+                                    return None
+                                if status == 2:
+                                    stopped = True
+                                    break
+                            elif self._dead_pending:
+                                self._dead_pending -= 1
+                            continue
+                        event.callbacks = None
+                        self.now = when
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            self._dispatch_multi(callbacks, event)
+                        processed += 1
+                        if not event._ok and not event._defused:
+                            raise typing.cast(BaseException, event._value)
+                if stopped:
+                    break
+                cal = self._cal
+                if heap or (cal is not None and cal.n):
+                    continue  # the store migrated mid-loop; keep going
+                break
         finally:
+            if gc_was_enabled:
+                gc.enable()
+            self._until = prev_until
             self.processed_count += processed
 
         if stop_event is not None:
@@ -168,7 +757,7 @@ class Engine:
             if not stop_event.ok:
                 raise typing.cast(BaseException, stop_event.value)
             return stop_event.value
-        if deadline != float("inf"):
+        if deadline != _INF:
             self.now = deadline
         return None
 

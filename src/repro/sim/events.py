@@ -128,6 +128,22 @@ class Timeout(Event):
         self.delay = delay
         engine._post(self, delay=delay)
 
+    def cancel(self) -> bool:
+        """Withdraw this timeout before it fires.
+
+        A cancelled timeout never runs its callbacks and does not count as
+        a processed event.  The engine removes it from the pending store
+        lazily (skipped when popped; bulk-compacted when cancellations
+        accumulate), so cancelling is O(1) and a wait-heavy workload that
+        abandons guard timeouts keeps a bounded pending population.
+
+        Returns True if the timeout was withdrawn, False if it already
+        fired (or was already cancelled).  The caller is responsible for
+        detaching any waiters first -- cancelling a timeout that a process
+        or condition still sleeps on would strand it.
+        """
+        return self.engine._cancel(self)
+
 
 class _Condition(Event):
     """Base for AnyOf / AllOf: fires once ``_check`` is satisfied."""
@@ -152,6 +168,8 @@ class _Condition(Event):
                 self._observe(ev)
             else:
                 ev.callbacks.append(self._observe)  # type: ignore[union-attr]
+        if self.triggered:
+            self._release_pending()
 
     def _observe(self, event: Event) -> None:
         if self.triggered:
@@ -165,6 +183,27 @@ class _Condition(Event):
         self._count += 1
         if self._satisfied():
             self.succeed(self._collect())
+            self._release_pending()
+
+    def _release_pending(self) -> None:
+        """Withdraw guard timeouts the settled condition was sole waiter of.
+
+        The classic ``AnyOf(work, timeout)`` guard pattern would otherwise
+        leave one dead timeout in the engine's pending store per wait until
+        its deadline pops.  Only :class:`Timeout` constituents are touched
+        (they cannot fail, so dropping the observer loses no defusing);
+        other events keep their observer so late failures stay defused.
+        """
+        observe = self._observe
+        for ev in self.events:
+            cbs = ev.callbacks
+            if cbs is not None and isinstance(ev, Timeout):
+                try:
+                    cbs.remove(observe)
+                except ValueError:
+                    continue
+                if not cbs:
+                    ev.cancel()
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.sim.events import Event, Interrupt, SimulationError
+from repro.sim.events import Event, Interrupt, SimulationError, Timeout
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
@@ -21,7 +21,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 class Process(Event):
     """A running simulated activity driven by a generator."""
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "_send", "_throw", "_bound_resume")
 
     def __init__(
         self,
@@ -37,12 +37,18 @@ class Process(Event):
         super().__init__(engine)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        # Bound-method lookups are hot enough to show in kernel profiles:
+        # every resume calls send/throw, and every suspend registers the
+        # resume callback, so bind them once here.
+        self._send = generator.send
+        self._throw = generator.throw
+        self._bound_resume = self._resume
         #: The event this process is currently suspended on (None if running
         #: or finished).
         self._target: Event | None = None
         # Kick off at the current time.
         init = Event(engine)
-        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        init.callbacks.append(self._bound_resume)  # type: ignore[union-attr]
         init._ok = True
         init._value = None
         engine._post(init)
@@ -62,9 +68,13 @@ class Process(Event):
         target = self._target
         if target.callbacks is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
+            if not target.callbacks and isinstance(target, Timeout):
+                # Nothing else is waiting: withdraw the timeout so abandoned
+                # guard delays do not pile up in the pending store.
+                target.cancel()
         self._target = None
         carrier = Event(self.engine)
-        carrier.callbacks.append(self._resume)  # type: ignore[union-attr]
+        carrier.callbacks.append(self._bound_resume)  # type: ignore[union-attr]
         carrier._ok = False
         carrier._value = Interrupt(cause)
         carrier._defused = True
@@ -73,15 +83,15 @@ class Process(Event):
     # -- driving ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
         self._target = None
+        send = self._send
+        throw = self._throw
         while True:
             try:
                 if event._ok:
-                    next_ev = self.generator.send(event._value)
+                    next_ev = send(event._value)
                 else:
                     event._defused = True
-                    next_ev = self.generator.throw(
-                        typing.cast(BaseException, event._value)
-                    )
+                    next_ev = throw(typing.cast(BaseException, event._value))
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -112,12 +122,13 @@ class Process(Event):
                 )
                 return
 
-            if next_ev.processed:
+            callbacks = next_ev.callbacks
+            if callbacks is None:
                 # Already settled: continue immediately with its outcome.
                 event = next_ev
                 continue
             self._target = next_ev
-            next_ev.callbacks.append(self._resume)  # type: ignore[union-attr]
+            callbacks.append(self._bound_resume)
             return
 
     def __repr__(self) -> str:

@@ -5,6 +5,15 @@ Example::
     python -m repro.tools.perfmain --out xfer_table.tsv
     python -m repro.tools.perfmain --latency-us 4 --bandwidth-mbs 900 \\
         --min-size 64 --max-size 4194304 --out fast_fabric.tsv
+
+``--compare`` turns the tool into the network fast path's referee: it
+runs one NAS workload under both ``network_path`` settings and prints a
+per-measure equality report (reports, telemetry windows, deterministic
+metrics), so users can verify the macro-event fast path on their own
+workload before trusting its numbers::
+
+    python -m repro.tools.perfmain --compare fast --benchmark lu \\
+        --klass S --np 4
 """
 
 from __future__ import annotations
@@ -23,7 +32,21 @@ def make_parser() -> argparse.ArgumentParser:
         description="Measure one-way transfer times on the simulated fabric "
         "and write the table the instrumented library loads at init.",
     )
-    parser.add_argument("--out", required=True, help="output table path (TSV)")
+    parser.add_argument("--out", default=None,
+                        help="output table path (TSV); required unless "
+                        "--compare is given")
+    parser.add_argument("--compare", choices=("fast", "packet"), default=None,
+                        help="instead of writing a table, run the given NAS "
+                        "workload under BOTH network paths and print a "
+                        "per-measure equality report (the argument picks "
+                        "which side's wall-clock is quoted)")
+    parser.add_argument("--benchmark", choices=("lu", "cg", "sp"),
+                        default="lu", help="--compare workload kernel")
+    parser.add_argument("--klass", default="S", help="--compare NAS class")
+    parser.add_argument("--np", dest="nprocs", type=int, default=4,
+                        help="--compare rank count")
+    parser.add_argument("--niter", type=int, default=1,
+                        help="--compare iteration count")
     parser.add_argument("--latency-us", type=float, default=None,
                         help="fabric latency in microseconds")
     parser.add_argument("--bandwidth-mbs", type=float, default=None,
@@ -37,8 +60,63 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _compare(args: argparse.Namespace) -> int:
+    """Run one workload under both network paths; print the equality report."""
+    import time
+
+    from repro.netsim.differential import compare_runs, run_both
+
+    if args.benchmark == "lu":
+        from repro.nas.lu import lu_app as app
+        app_args: tuple = (args.klass, args.niter, None, None)
+    elif args.benchmark == "cg":
+        from repro.nas.cg import cg_app as app
+        app_args = (args.klass, args.niter, None)
+    else:
+        from repro.nas.sp import sp_app as app
+        app_args = (args.klass, args.niter, None, False)
+
+    host: dict[str, float] = {}
+    t0 = time.perf_counter()
+    fast, packet, mfast, mpacket = run_both(
+        app, args.nprocs, app_args=app_args,
+        label=f"{args.benchmark}.{args.klass}.{args.nprocs}",
+    )
+    host["both"] = time.perf_counter() - t0
+    deltas = compare_runs(fast, packet, mfast, mpacket)
+    unequal = [d for d in deltas if not d.equal]
+
+    width = max(len(d.measure) for d in deltas)
+    print(f"differential: {args.benchmark}.{args.klass} np={args.nprocs} "
+          f"niter={args.niter} (fast vs packet, "
+          f"{host['both']:.2f} s host)")
+    for d in deltas:
+        mark = "==" if d.equal else "!="
+        print(f"  {d.measure:<{width}}  {mark}")
+        if not d.equal:
+            print(f"    fast:   {d.fast!r}")
+            print(f"    packet: {d.packet!r}")
+    n_eq = len(deltas) - len(unequal)
+    print(f"{n_eq}/{len(deltas)} measures bit-identical", end="")
+    ref = fast if args.compare == "fast" else packet
+    print(f"; {args.compare} path simulated {ref.elapsed * 1e3:.2f} ms")
+    if unequal:
+        print(f"FAIL: {len(unequal)} measure(s) differ -- the fast path is "
+              "NOT safe on this workload; run with network_path='packet' "
+              "and report a bug")
+        return 1
+    print("OK: the fast path is observationally identical on this workload")
+    return 0
+
+
 def main(argv: typing.Sequence[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+    if args.compare is not None:
+        return _compare(args)
+    if args.out is None:
+        print("error: --out is required (unless --compare is given)",
+              file=sys.stderr)
+        return 2
     if args.min_size <= 0 or args.max_size < args.min_size:
         print("error: need 0 < --min-size <= --max-size", file=sys.stderr)
         return 2

@@ -1,0 +1,279 @@
+"""CalendarQueue, lazy timeout cancellation, and Burst unit tests.
+
+The calendar queue must be a drop-in replacement for ``heapq``: exact
+``(when, seq)`` pop order under any push/pop interleaving.  Lazy
+cancellation must keep the pending store bounded under cancel-heavy
+workloads.  Bursts must tail-extend, refuse out-of-order times, and
+yield/reinsert when a competing event holds a smaller key.
+"""
+
+import heapq
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.sim import Engine
+from repro.sim.calendar import CalendarQueue
+from repro.sim.engine import CALENDAR_COLLAPSE, CALENDAR_ENGAGE
+
+
+# -- CalendarQueue vs heapq reference -----------------------------------------
+
+#: Push times with many duplicates (tie-break stress) and wide spans
+#: (bucket-width / sparse-region stress).
+times = st.one_of(
+    st.floats(min_value=0.0, max_value=1e-3, allow_nan=False),
+    st.sampled_from([0.0, 1e-9, 1.0, 1.0, 1e3]),
+)
+ops = st.lists(
+    st.one_of(st.tuples(st.just("push"), times), st.just(("pop", None))),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=ops)
+def test_pop_order_matches_heapq_reference(ops):
+    cal = CalendarQueue()
+    ref: list = []
+    seq = 0
+    for op, when in ops:
+        if op == "push":
+            cal.push(when, seq, f"item{seq}")
+            heapq.heappush(ref, (when, seq, f"item{seq}"))
+            seq += 1
+        elif ref:
+            assert cal.min_key() == (ref[0][0], ref[0][1])
+            assert cal.pop() == heapq.heappop(ref)
+        else:
+            assert cal.min_key() is None
+            with pytest.raises(IndexError):
+                cal.pop()
+        assert len(cal) == len(ref)
+    while ref:
+        assert cal.pop() == heapq.heappop(ref)
+    assert len(cal) == 0
+
+
+def test_seeded_construction_drains_sorted():
+    entries = [(float(i % 97) * 1e-6, i, i) for i in range(3000)]
+    cal = CalendarQueue(entries)
+    assert len(cal) == 3000
+    popped = [cal.pop() for _ in range(3000)]
+    assert popped == sorted(entries)
+
+
+def test_drain_returns_everything_unsorted():
+    cal = CalendarQueue()
+    for i in range(100):
+        cal.push(i * 1e-6, i, i)
+    drained = cal.drain()
+    assert len(cal) == 0
+    assert sorted(drained) == [(i * 1e-6, i, i) for i in range(100)]
+
+
+def test_compact_drops_only_dead_entries():
+    cal = CalendarQueue()
+    for i in range(500):
+        cal.push(i * 1e-6, i, i)
+    removed = cal.compact(lambda item: item % 3 == 0)
+    assert removed == len([i for i in range(500) if i % 3 == 0])
+    survivors = [cal.pop()[2] for _ in range(len(cal))]
+    assert survivors == [i for i in range(500) if i % 3 != 0]
+
+
+def test_push_behind_cursor_is_not_lost():
+    # Pop far ahead, then push an earlier entry: the cursor must rewind.
+    cal = CalendarQueue()
+    cal.push(1.0, 0, "late")
+    assert cal.pop()[2] == "late"
+    cal.push(1e-6, 1, "early")
+    cal.push(2.0, 2, "later")
+    assert cal.pop()[2] == "early"
+    assert cal.pop()[2] == "later"
+
+
+# -- engine-level calendar engagement -----------------------------------------
+
+def test_engine_engages_and_collapses_calendar():
+    eng = Engine()
+    n = CALENDAR_ENGAGE + 512
+    fired: list[float] = []
+    for i in range(n):
+        t = eng.timeout((n - i) * 1e-7)  # reverse order: heap gets exercised
+        t.callbacks.append(lambda ev, when=(n - i) * 1e-7: fired.append(when))
+    assert eng._cal is not None  # engaged above the threshold
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == n
+    # Draining below CALENDAR_COLLAPSE pending flips back to the heap.
+    assert eng._cal is None
+    assert eng.pending_count == 0
+    assert eng.heap_high_water >= CALENDAR_ENGAGE
+
+
+def test_calendar_preserves_fifo_ties():
+    eng = Engine()
+    order: list[int] = []
+    for i in range(CALENDAR_ENGAGE + 100):
+        t = eng.timeout(5e-6)  # every event at the same instant
+        t.callbacks.append(lambda ev, i=i: order.append(i))
+    eng.run()
+    assert order == list(range(CALENDAR_ENGAGE + 100))
+
+
+# -- lazy cancellation / compaction -------------------------------------------
+
+def test_cancelled_timeouts_keep_heap_bounded():
+    """Cancel-heavy workload: the store must not grow with total cancels.
+
+    This is the guard-timeout pattern: every operation arms a long guard
+    and cancels it on completion.  With eager deletion the heap would hold
+    one dead entry per cancel until its distant deadline; lazy deletion
+    plus compaction keeps the high-water mark near the live population.
+    """
+    eng = Engine()
+    n = 20_000
+
+    def driver():
+        for _ in range(n):
+            guard = eng.timeout(1e3)  # distant guard, always cancelled
+            yield eng.timeout(1e-7)   # the real (short) operation
+            assert guard.cancel()
+
+    eng.process(driver())
+    eng.run()
+    assert eng.cancelled_count == n
+    # Live population is ~2 per iteration; compaction must keep the store
+    # within a small constant factor of that, not O(n).
+    assert eng.heap_high_water < 256
+    assert eng.pending_count == 0
+
+
+def test_cancel_is_idempotent_and_fired_timeouts_refuse():
+    eng = Engine()
+    t = eng.timeout(1.0)
+    assert t.cancel()
+    assert not t.cancel()  # second cancel: already dead
+    fired = eng.timeout(1e-9)
+    fired.callbacks.append(lambda ev: None)
+    eng.run()
+    assert not fired.cancel()  # already fired
+    assert eng.cancelled_count == 1
+
+
+# -- inline time advance (Engine.elapse) --------------------------------------
+
+def test_elapse_matches_timeout_schedule_bit_for_bit():
+    """elapse() and timeout() produce the identical event schedule.
+
+    Two workers with co-prime periods generate interleavings and exact
+    ``when`` ties; the elapse-based run must resolve every one the same
+    way (same timestamps, same FIFO order) as the pure-timeout run.
+    """
+
+    def program(eng, tick):
+        trace = []
+
+        def a():
+            for _ in range(50):
+                t = tick(eng, 3e-7)
+                if t is not None:
+                    yield t
+                trace.append(("a", eng.now))
+
+        def b():
+            for _ in range(30):
+                yield eng.timeout(5e-7)
+                trace.append(("b", eng.now))
+
+        eng.process(a())
+        eng.process(b())
+        eng.run()
+        return trace
+
+    with_timeout = program(Engine(), lambda eng, dt: eng.timeout(dt))
+    with_elapse = program(Engine(), lambda eng, dt: eng.elapse(dt))
+    assert with_elapse == with_timeout
+
+
+def test_elapse_inline_only_when_provably_next():
+    eng = Engine()
+    # Empty store: inline advance, no Timeout allocated.
+    assert eng.elapse(1e-6) is None
+    assert eng.now == 1e-6
+    # A pending event before the target: must fall back to a real Timeout.
+    eng.timeout(1.5e-6).callbacks.append(lambda _e: None)
+    t = eng.elapse(2e-6)
+    assert t is not None
+    eng.run()
+    assert eng.now == 1e-6 + 2e-6
+
+
+def test_elapse_respects_run_deadline():
+    eng = Engine()
+    log = []
+
+    def p():
+        while True:
+            t = eng.elapse(1e-6)
+            if t is not None:
+                yield t
+            log.append(eng.now)
+
+    eng.process(p())
+    eng.run(until=5.5e-6)
+    assert eng.now == 5.5e-6
+    assert log == [pytest.approx(i * 1e-6) for i in range(1, 6)]
+
+
+# -- Burst unit behaviour ------------------------------------------------------
+
+def test_burst_tail_extends_and_refuses_out_of_order():
+    eng = Engine()
+    burst = eng.new_burst()
+    a = burst.try_at(2e-6)
+    b = burst.try_at(2e-6)  # equal time: allowed (FIFO tie-break)
+    c = burst.try_at(3e-6)
+    assert a is not None and b is not None and c is not None
+    assert burst.try_at(1e-6) is None  # precedes the tail: refused
+    assert burst.pending == 3
+    burst.close()
+    assert burst.try_at(5e-6) is None  # closed: refused
+    order: list[str] = []
+    for name, ev in (("a", a), ("b", b), ("c", c)):
+        ev.callbacks.append(lambda _e, name=name: order.append(name))
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert burst.pending == 0
+    assert eng.now == 3e-6
+
+
+def test_burst_yields_to_competing_smaller_key():
+    # A plain event lands between two burst sub-events: the burst must
+    # yield, let it run at the right instant, and reinsert its remainder.
+    eng = Engine()
+    burst = eng.new_burst()
+    first = burst.try_at(1e-6)
+    second = burst.try_at(5e-6)
+    order: list[str] = []
+    first.callbacks.append(lambda _e: order.append("sub1"))
+    second.callbacks.append(lambda _e: order.append("sub2"))
+    mid = eng.timeout(3e-6)
+    mid.callbacks.append(lambda _e: order.append("mid"))
+    eng.run()
+    assert order == ["sub1", "mid", "sub2"]
+    assert eng.burst_reinserts >= 1
+
+
+def test_burst_interleaved_with_step():
+    eng = Engine()
+    burst = eng.new_burst()
+    evs = [burst.try_at(i * 1e-6) for i in range(1, 6)]
+    seen: list[float] = []
+    for ev in evs:
+        ev.callbacks.append(lambda _e: seen.append(eng.now))
+    while eng.pending_count:
+        eng.step()
+    assert seen == [i * 1e-6 for i in range(1, 6)]

@@ -61,6 +61,22 @@ class Monitor:
         ``metrics_labels`` (typically ``{"rank": "0"}``).  ``None`` (the
         default) is the nil fast path -- stamping is byte-for-byte the
         pre-metrics hot path.
+    stamp_loss:
+        Optional :class:`~repro.faults.inject.StampLoss`: a seeded
+        coin-flipper that makes individual ``XFER_BEGIN`` / ``XFER_END``
+        stamps vanish, modeling lossy instrumentation.  A transfer that
+        loses one of its two stamps degrades to the paper's Case 3 bounds
+        (``min = 0``, ``max = xfer_time``); losing both removes it from
+        the report entirely.  ``None`` (the default) stamps everything.
+    ring_mode:
+        When True the event queue runs as a fixed ring instead of
+        draining to the processor: overflow overwrites the *oldest*
+        stamps and only the newest ``queue_capacity`` events survive to
+        :meth:`finalize`, which sanitizes the surviving suffix (orphaned
+        ``CALL_EXIT`` / ``SECTION_END`` whose openers were overwritten
+        are discarded; orphaned ``XFER_END`` events pass through and
+        resolve as Case 3).  Models a bounded trace buffer that cannot
+        afford mid-run processing.
     """
 
     def __init__(
@@ -73,12 +89,18 @@ class Monitor:
         processor_factory: "typing.Callable[[XferTable, typing.Sequence[float]], DataProcessor] | None" = None,
         metrics: "MetricsRegistry | None" = None,
         metrics_labels: "dict[str, str] | None" = None,
+        stamp_loss: "typing.Any | None" = None,
+        ring_mode: bool = False,
     ) -> None:
         self._clock = clock
         self.names = NameRegistry()
         factory = processor_factory or DataProcessor
         self.processor = factory(xfer_table, bin_edges)
-        self.queue = CircularEventQueue(queue_capacity, self.processor.process)
+        self._ring_mode = ring_mode
+        self.queue = CircularEventQueue(
+            queue_capacity, None if ring_mode else self.processor.process
+        )
+        self._stamp_loss = stamp_loss
         #: PERUSE-style subscription point: external observers of the raw
         #: event stream (tracing, debugging, other performance tools).
         self.peruse = PeruseHub()
@@ -178,6 +200,9 @@ class Monitor:
         if xfer_id is None:
             xfer_id = self.new_xfer_id()
         if self._enabled:
+            loss = self._stamp_loss
+            if loss is not None and loss.drop_begin():
+                return xfer_id
             self._push(
                 TimedEvent(EventKind.XFER_BEGIN, self._clock(), xfer_id, int(nbytes))
             )
@@ -186,6 +211,9 @@ class Monitor:
     def xfer_end(self, xfer_id: int, nbytes: float) -> None:
         """Stamp completion of a data-transfer operation."""
         if self._enabled:
+            loss = self._stamp_loss
+            if loss is not None and loss.drop_end():
+                return
             self._push(
                 TimedEvent(EventKind.XFER_END, self._clock(), xfer_id, int(nbytes))
             )
@@ -232,7 +260,13 @@ class Monitor:
         if self._finalized:
             raise InstrumentationError("monitor already finalized")
         end_time = self._clock()
-        self.queue.flush()
+        if self._ring_mode:
+            # Ring mode: only the newest ``capacity`` stamps survived.  The
+            # suffix may open mid-call / mid-section, so sanitize before
+            # feeding the processor (which rejects orphaned closers).
+            self.processor.process(_sanitize_suffix(self.queue.events()))
+        else:
+            self.queue.flush()
         self.processor.finalize(end_time)
         self._finalized = True
         return OverlapReport.from_processor(
@@ -258,6 +292,38 @@ class Monitor:
         peruse = self.peruse
         if peruse._all or peruse._by_kind:
             peruse.dispatch(event)
+
+
+def _sanitize_suffix(events: "list[TimedEvent]") -> "list[TimedEvent]":
+    """Make a ring-overflow suffix digestible by the processor.
+
+    Overflow overwrites the *oldest* stamps, so the surviving stream can
+    close scopes it never opened.  Orphaned ``CALL_EXIT`` (depth would go
+    negative) and ``SECTION_END`` (no matching open section) events are
+    discarded; everything else passes through in order.  Orphaned
+    ``XFER_END`` events are deliberately kept: the processor resolves an
+    END without a BEGIN under Case 3, which is exactly the paper's "only
+    one of the two events stamped" bound.
+    """
+    out: list[TimedEvent] = []
+    depth = 0
+    sections: list[int] = []
+    for ev in events:
+        kind = ev.kind
+        if kind == EventKind.CALL_ENTER:
+            depth += 1
+        elif kind == EventKind.CALL_EXIT:
+            if depth == 0:
+                continue
+            depth -= 1
+        elif kind == EventKind.SECTION_BEGIN:
+            sections.append(ev.a)
+        elif kind == EventKind.SECTION_END:
+            if not sections or sections[-1] != ev.a:
+                continue
+            sections.pop()
+        out.append(ev)
+    return out
 
 
 class NullMonitor:

@@ -32,10 +32,12 @@ import dataclasses
 import hashlib
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
 import tempfile
 import time
+import traceback
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover
@@ -265,6 +267,29 @@ def shutdown_shared_pool() -> None:
 atexit.register(shutdown_shared_pool)
 
 
+@dataclasses.dataclass
+class FailedTask:
+    """Placeholder result for a sweep point whose worker raised or died.
+
+    With ``run_tasks(..., on_error="continue")`` a failing point yields
+    one of these in its result slot instead of aborting the whole sweep;
+    the remaining points still run.  Failed cells are never cached, so a
+    re-run retries them.
+    """
+
+    name: str
+    error: str
+    traceback: str = ""
+    #: Worker process exit code when the worker died without reporting
+    #: (crash / signal); ``None`` for an in-worker Python exception.
+    exitcode: "int | None" = None
+
+    def __bool__(self) -> bool:
+        # A failed cell is falsy so sweep code can filter results with a
+        # plain truthiness check.
+        return False
+
+
 def _run_task(task: Task) -> object:  # worker-side entry point
     return task.run()
 
@@ -281,12 +306,97 @@ def _task_name(task: Task) -> str:
     return f"{fn}{task.args[:2]!r}" if task.args else fn
 
 
+def _run_task_failsafe(task: Task) -> "tuple[float, object]":
+    """Run one task, converting any exception into a :class:`FailedTask`."""
+    t0 = time.perf_counter()
+    try:
+        value: object = task.run()
+    except Exception as exc:
+        value = FailedTask(
+            _task_name(task),
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(),
+        )
+    return time.perf_counter() - t0, value
+
+
+def _run_task_piped(task: Task, conn) -> None:
+    """Child-process entry point: run one task, ship the result home."""
+    dur, value = _run_task_failsafe(task)
+    try:
+        conn.send((dur, value))
+    except Exception as exc:  # e.g. an unpicklable result
+        conn.send((dur, FailedTask(
+            _task_name(task), f"result not picklable: {exc}")))
+    finally:
+        conn.close()
+
+
+def _run_pending_resilient(
+    tasks: "list[Task]",
+    pending: "list[int]",
+    jobs: int,
+    progress: "SweepProgress | None",
+) -> "list[tuple[float, object]]":
+    """Fan tasks across one process *each* (at most ``jobs`` at a time).
+
+    Unlike a shared :class:`multiprocessing.pool.Pool`, a worker that dies
+    outright -- segfault, OOM kill, ``os._exit`` -- takes only its own
+    cell with it: the broken pipe surfaces as an ``EOFError`` on the
+    parent's end and the cell becomes a :class:`FailedTask` carrying the
+    exit code, while every other point proceeds.  Results are slotted
+    positionally, so ordering stays deterministic.
+    """
+    ctx = multiprocessing.get_context()
+    timed: "list[tuple[float, object] | None]" = [None] * len(pending)
+    inflight: dict = {}  # parent conn -> (slot, task index, process, start)
+    next_slot = 0
+    try:
+        while next_slot < len(pending) or inflight:
+            while next_slot < len(pending) and len(inflight) < jobs:
+                i = pending[next_slot]
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_run_task_piped, args=(tasks[i], child_conn),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                inflight[parent_conn] = (next_slot, i, proc, time.perf_counter())
+                next_slot += 1
+            for conn in multiprocessing.connection.wait(list(inflight)):
+                slot, i, proc, t0 = inflight.pop(conn)
+                try:
+                    dur, value = conn.recv()
+                except EOFError:
+                    # The worker died before reporting.
+                    proc.join()
+                    dur = time.perf_counter() - t0
+                    value = FailedTask(
+                        _task_name(tasks[i]),
+                        f"worker died without a result (exitcode {proc.exitcode})",
+                        exitcode=proc.exitcode,
+                    )
+                else:
+                    proc.join()
+                conn.close()
+                timed[slot] = (dur, value)
+                if progress is not None:
+                    progress.task_done(dur, name=_task_name(tasks[i]))
+    finally:
+        for conn, (_slot, _i, proc, _t0) in inflight.items():
+            proc.terminate()
+            conn.close()
+    return typing.cast("list[tuple[float, object]]", timed)
+
+
 def run_tasks(
     tasks: typing.Sequence[Task],
     jobs: "int | None" = None,
     cache: "ResultCache | None" = None,
     progress: "SweepProgress | None" = None,
     reuse_pool: bool = True,
+    on_error: str = "raise",
 ) -> list[object]:
     """Run ``tasks`` and return their results **in task order**.
 
@@ -306,11 +416,24 @@ def run_tasks(
     shared pool (the surviving workers' state is no longer trusted)
     before the exception propagates.
 
+    ``on_error`` selects the failure policy.  ``"raise"`` (the default)
+    propagates the first failing task's exception, retiring the shared
+    pool.  ``"continue"`` hardens the sweep against bad cells: a task
+    that raises -- or whose worker process dies outright -- leaves a
+    :class:`FailedTask` in its result slot and every other point still
+    runs.  Failed cells are never cached.  With ``jobs > 1`` the
+    continue policy runs each uncached task in its own short-lived
+    process (crash isolation costs the pool reuse).
+
     Determinism: results are positionally identical to a serial run
     regardless of ``jobs``, cache state, pool reuse, or progress
     publication, because every task is an independent pure function and
     the pool uses ordered ``imap``.
     """
+    if on_error not in ("raise", "continue"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'continue', got {on_error!r}"
+        )
     tasks = list(tasks)
     results: list[object] = [None] * len(tasks)
     pending: list[int] = []
@@ -340,12 +463,17 @@ def run_tasks(
     if jobs is None:
         jobs = 1
     if jobs <= 1 or len(pending) == 1:
+        run_one = _run_task_failsafe if on_error == "continue" else _run_task_timed
         timed = []
         for i in pending:
-            dur, value = _run_task_timed(tasks[i])
+            dur, value = run_one(tasks[i])
             if progress is not None:
                 progress.task_done(dur, name=_task_name(tasks[i]))
             timed.append((dur, value))
+    elif on_error == "continue":
+        timed = _run_pending_resilient(
+            tasks, pending, min(jobs, len(pending)), progress
+        )
     elif reuse_pool:
         pool = _get_shared_pool(jobs)
         timed = []
@@ -376,7 +504,7 @@ def run_tasks(
 
     for i, (_dur, value) in zip(pending, timed):
         results[i] = value
-        if cache is not None:
+        if cache is not None and not isinstance(value, FailedTask):
             key = keys[i]
             assert key is not None
             cache.put(key, value)

@@ -1,0 +1,47 @@
+"""Deterministic fault injection + resilience for the simulated stack.
+
+``repro.faults`` splits into declarative schedules (:mod:`~repro.faults.plan`:
+what goes wrong, seeded, hashable, cache-key-able), live machinery
+(:mod:`~repro.faults.inject`: per-link RNG streams, verdicts, counters),
+watchdog policy/diagnostics (:mod:`~repro.faults.watchdog`), and report
+invariant checks for degraded runs (:mod:`~repro.faults.checks`).
+
+Entry points: set ``NetworkParams(faults=FaultPlan(...))`` to arm the
+fabric, ``MpiConfig(resilience=ResilienceParams())`` to arm ack/retransmit,
+and pass ``watchdog=WatchdogConfig(...)`` to ``run_app`` to bound wedged
+runs.  ``faults=None`` (the default) is bit-identical to a fault-free
+build.  See docs/robustness.md.
+"""
+
+from repro.faults.checks import InvariantViolation, check_run_invariants
+from repro.faults.inject import FaultInjector, PacketVerdict, StampLoss
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegradation,
+    NicStall,
+    ResilienceParams,
+    parse_fault_spec,
+)
+from repro.faults.watchdog import (
+    RankSnapshot,
+    WatchdogConfig,
+    WatchdogDiagnostic,
+    diagnose,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantViolation",
+    "LinkDegradation",
+    "NicStall",
+    "PacketVerdict",
+    "RankSnapshot",
+    "ResilienceParams",
+    "StampLoss",
+    "WatchdogConfig",
+    "WatchdogDiagnostic",
+    "check_run_invariants",
+    "diagnose",
+    "parse_fault_spec",
+]

@@ -1,0 +1,172 @@
+"""Report invariants that must survive every fault mix.
+
+Under fault injection the ground-truth transfer table no longer predicts
+observed timings (that is the point), so the usual bound-vs-truth
+validation (``repro.experiments.validation``) does not apply.  What *must*
+still hold -- for any drop/dup/reorder/stall/straggler/instrumentation-loss
+schedule -- are the structural invariants of the paper's bounds machinery:
+
+* per measure set: ``0 <= min_overlap <= max_overlap <= data_transfer_time``
+  and case counts partition the transfer count;
+* the size-bin table partitions the totals (bin sums reconstruct them);
+* telemetry window snapshots reconstruct the whole-run totals and the
+  per-window deltas telescope back to them;
+* the cluster rollup (report merge) stays exact: merged totals equal the
+  float-ordered sum of the per-rank totals.
+
+:func:`check_run_invariants` walks a :class:`~repro.runtime.launcher.RunResult`
+and returns every violation found (or raises).  It is the engine behind
+``python -m repro.tools.validate --faults`` and the hypothesis suite.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.report import OverlapReport, aggregate_reports
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.measures import OverlapMeasures
+    from repro.runtime.launcher import RunResult
+
+#: Absolute slack for accumulated-float comparisons.  Individual transfers
+#: are admitted with <= 1e-12 slack (see ``OverlapMeasures.add_transfer``);
+#: sums of many of them need proportional room.
+_ABS_EPS = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """A degraded run produced a report that breaks the bounds contract."""
+
+
+def _tol(scale: float) -> float:
+    return _ABS_EPS + 1e-9 * abs(scale)
+
+
+def _check_measures(meas: "OverlapMeasures", where: str, errors: list[str]) -> None:
+    m_min, m_max, xfer = meas.min_overlap_time, meas.max_overlap_time, meas.data_transfer_time
+    if m_min < -_tol(m_min):
+        errors.append(f"{where}: min overlap {m_min} < 0")
+    if m_min > m_max + _tol(m_max):
+        errors.append(f"{where}: min overlap {m_min} > max overlap {m_max}")
+    if m_max > xfer + _tol(xfer):
+        errors.append(f"{where}: max overlap {m_max} > transfer time {xfer}")
+    if meas.computation_time < 0.0 or meas.communication_call_time < 0.0:
+        errors.append(f"{where}: negative interval attribution")
+    case_total = sum(meas.case_counts.values())
+    if case_total != meas.transfer_count:
+        errors.append(
+            f"{where}: case counts {meas.case_counts} do not partition "
+            f"{meas.transfer_count} transfers"
+        )
+    # The size-bin table must partition the totals.
+    b_count = sum(b.count for b in meas.bins.bins)
+    b_xfer = sum(b.xfer_time for b in meas.bins.bins)
+    b_min = sum(b.min_overlap for b in meas.bins.bins)
+    b_max = sum(b.max_overlap for b in meas.bins.bins)
+    if b_count != meas.transfer_count:
+        errors.append(f"{where}: bin counts {b_count} != transfers {meas.transfer_count}")
+    for name, got, want in (
+        ("xfer_time", b_xfer, xfer),
+        ("min_overlap", b_min, m_min),
+        ("max_overlap", b_max, m_max),
+    ):
+        if abs(got - want) > _tol(want):
+            errors.append(f"{where}: bin {name} sum {got} != total {want}")
+    for i, b in enumerate(meas.bins.bins):
+        if not (-_tol(b.max_overlap)
+                <= b.min_overlap
+                <= b.max_overlap + _tol(b.max_overlap)
+                <= b.xfer_time + 2.0 * _tol(b.xfer_time)):
+            errors.append(
+                f"{where}: bin {i} bounds broken "
+                f"(min={b.min_overlap} max={b.max_overlap} xfer={b.xfer_time})"
+            )
+
+
+def check_report(report: OverlapReport, errors: list[str] | None = None) -> list[str]:
+    """Structural invariants of one per-process report."""
+    errors = [] if errors is None else errors
+    where = f"rank {report.rank}"
+    if report.wall_time < 0.0:
+        errors.append(f"{where}: negative wall time {report.wall_time}")
+    if report.event_count < 0:
+        errors.append(f"{where}: negative event count {report.event_count}")
+    _check_measures(report.total, f"{where} total", errors)
+    for name, meas in report.sections.items():
+        _check_measures(meas, f"{where} section {name!r}", errors)
+    return errors
+
+
+def check_run_invariants(
+    result: "RunResult", raise_on_error: bool = True
+) -> list[str]:
+    """Every structural invariant of one (possibly degraded) run.
+
+    Returns the list of violations found; empty means the run's reports,
+    rollup, and telemetry (when collected) are internally consistent.
+    With ``raise_on_error`` (the default) a non-empty list raises
+    :class:`InvariantViolation` instead.
+    """
+    errors: list[str] = []
+    reports = [r for r in result.reports if r is not None]
+    for report in reports:
+        check_report(report, errors)
+
+    if reports:
+        # Rollup exactness: OverlapMeasures.merge folds rank totals in list
+        # order starting from zero, which is float-identical to summing the
+        # per-rank fields in that same order.
+        merged = aggregate_reports(reports)
+        _check_measures(merged, "rollup", errors)
+        for field in (
+            "data_transfer_time",
+            "min_overlap_time",
+            "max_overlap_time",
+            "computation_time",
+            "communication_call_time",
+        ):
+            expect = 0.0
+            for rep in reports:
+                expect += getattr(rep.total, field)
+            got = getattr(merged, field)
+            if got != expect:
+                errors.append(f"rollup: merged {field} {got} != exact sum {expect}")
+        if merged.transfer_count != sum(r.total.transfer_count for r in reports):
+            errors.append("rollup: merged transfer count is not the rank sum")
+
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None:
+        report_by_rank = {
+            rank: rep for rank, rep in enumerate(result.reports) if rep is not None
+        }
+        for rank_tel in telemetry.per_rank:
+            series = rank_tel.series
+            rep = report_by_rank.get(rank_tel.rank)
+            if rep is None:
+                continue
+            where = f"rank {rank_tel.rank} telemetry"
+            totals = series.totals()
+            for field, value in totals.items():
+                if value != getattr(rep.total, field):
+                    errors.append(
+                        f"{where}: window totals {field}={value} != "
+                        f"report {getattr(rep.total, field)}"
+                    )
+            # Per-window deltas must telescope back to the totals.
+            rows = series.deltas()
+            for field in totals:
+                acc = 0.0
+                for row in rows:
+                    acc += row[field]
+                if abs(acc - totals[field]) > _tol(totals[field]):
+                    errors.append(
+                        f"{where}: window deltas for {field} sum to {acc}, "
+                        f"totals say {totals[field]}"
+                    )
+
+    if errors and raise_on_error:
+        raise InvariantViolation(
+            f"{len(errors)} invariant violation(s):\n  " + "\n  ".join(errors)
+        )
+    return errors

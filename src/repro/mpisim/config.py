@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.measures import DEFAULT_BIN_EDGES
+from repro.faults.plan import ResilienceParams
 
 #: Rendezvous protocol selector values.
 RNDV_PIPELINED = "pipelined"
@@ -62,6 +63,11 @@ class MpiConfig:
     queue_capacity: int = 4096
     #: Message-size-range edges for the per-size breakdown.
     bin_edges: tuple[float, ...] = DEFAULT_BIN_EDGES
+    #: Ack/retransmission tuning for the reliable send channel.  ``None``
+    #: (the default) disables the transport sublayer entirely -- required
+    #: for bit-identical fault-free runs, and the right choice whenever
+    #: ``NetworkParams.faults`` injects no packet faults.
+    resilience: ResilienceParams | None = None
 
     def __post_init__(self) -> None:
         if self.eager_limit < 0:

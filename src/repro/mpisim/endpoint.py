@@ -22,9 +22,11 @@ from repro.core.monitor import Monitor, NullMonitor
 from repro.mpisim.config import MpiConfig
 from repro.mpisim.matching import MatchingEngine, UnexpectedMsg
 from repro.mpisim.packets import (
+    AckPacket,
     CtsPacket,
     EagerPacket,
     FinPacket,
+    ReliableEnvelope,
     RtsPacket,
     is_control_packet,
 )
@@ -105,6 +107,21 @@ class RecvState:
         self.protocol = protocol
 
 
+class _UnackedSend:
+    """Sender-side record of one reliable-channel packet awaiting its ack."""
+
+    __slots__ = ("tseq", "dest", "nbytes", "env", "attempt", "timer")
+
+    def __init__(self, tseq: int, dest: int, nbytes: float, env: ReliableEnvelope) -> None:
+        self.tseq = tseq
+        self.dest = dest
+        self.nbytes = nbytes
+        self.env = env
+        #: Retransmissions performed so far (attempt k backs off by backoff**k).
+        self.attempt = 0
+        self.timer: Timeout | None = None
+
+
 class Endpoint:
     """One rank's communication-library instance."""
 
@@ -139,6 +156,19 @@ class Endpoint:
         #: Local completions (CQ entries with stamping contexts) not yet
         #: drained; MPI_Finalize polls until this reaches zero.
         self.pending_local_completions = 0
+        #: Reliable send channel (None = raw sends, the bit-identical path).
+        self.resilience = config.resilience
+        #: Per-sender transport sequence counter for reliable envelopes.
+        self._tseq = 0
+        #: tseq -> in-flight reliable packet (the watchdog dumps its size).
+        self._unacked: dict[int, _UnackedSend] = {}
+        #: Per-peer tseq sets already delivered (duplicate suppression).
+        self._seen_tseq: dict[int, set[int]] = {}
+        # Resilience counters (surfaced through repro.metrics).
+        self.packets_retransmitted = 0
+        self.duplicates_suppressed = 0
+        self.retries_exhausted = 0
+        self.acks_sent = 0
         # Late-bound to break the import cycle with the protocol modules.
         from repro.mpisim.protocols import make_protocol
 
@@ -240,8 +270,127 @@ class Endpoint:
                 )
         return progressed
 
+    # -- reliable send channel ---------------------------------------------
+    def post_send_channel(
+        self, dest: int, nbytes: float, payload: object, context: object = None
+    ) -> None:
+        """Post one send-channel packet, reliably when resilience is armed.
+
+        Without :class:`~repro.faults.plan.ResilienceParams` this is a raw
+        ``post_send`` (byte-identical to the pre-resilience library).  With
+        it, the payload travels inside a :class:`ReliableEnvelope` and a
+        retransmit timer backs it until the receiver's ack arrives.
+        Retransmissions are transport-level: they fire from timer context
+        with no CPU charge and no CQ context, exactly like a NIC firmware
+        retry invisible to the host.
+        """
+        nic = self.nics[0]
+        dst = self.nic_for(dest)
+        if self.resilience is None:
+            nic.post_send(dst, nbytes, payload, context=context)
+            return
+        self._tseq += 1
+        env = ReliableEnvelope(self._tseq, self.rank, payload)
+        state = _UnackedSend(self._tseq, dest, nbytes, env)
+        self._unacked[state.tseq] = state
+        nic.post_send(dst, nbytes, env, context=context)
+        self._arm_retransmit(state)
+
+    def _arm_retransmit(self, state: _UnackedSend) -> None:
+        r = self.resilience
+        assert r is not None
+        timer = Timeout(self.engine, r.ack_timeout * (r.backoff ** state.attempt))
+        state.timer = timer
+
+        def on_timer(_ev: Event) -> None:
+            if state.tseq not in self._unacked:
+                return  # acked between firing and processing
+            if state.attempt >= r.max_retries:
+                # Retry budget exhausted: abandon the packet.  The operation
+                # it belonged to will never complete -- reporting that is
+                # the watchdog's job, not the transport's.
+                del self._unacked[state.tseq]
+                self.retries_exhausted += 1
+                self._kick_ranks()
+                return
+            state.attempt += 1
+            self.packets_retransmitted += 1
+            self.nics[0].post_send(
+                self.nic_for(state.dest), state.nbytes, state.env, context=None
+            )
+            self._arm_retransmit(state)
+
+        timer.callbacks.append(on_timer)  # type: ignore[union-attr]
+
+    def _on_ack(self, pkt: AckPacket) -> None:
+        state = self._unacked.pop(pkt.tseq, None)
+        if state is None:
+            return  # duplicate ack, or ack of an abandoned packet
+        if state.timer is not None:
+            state.timer.cancel()
+
+    def _kick_ranks(self) -> None:
+        """Wake any blocked poll loop so it re-evaluates its predicate.
+
+        Used when transport state changes without NIC activity on this
+        endpoint (retry budget exhausted): a Finalize blocked on
+        ``quiescent`` must notice the abandoned packet.
+        """
+        for nic in self.nics:
+            nic._kick()
+
+    def attach_metrics(self, registry: typing.Any, labels: dict | None = None) -> None:
+        """Register resilience counters on a MetricsRegistry."""
+        labels = labels or {}
+        registry.sampled_counter(
+            "repro_mpi_packets_retransmitted",
+            lambda: self.packets_retransmitted,
+            help="Reliable-channel packets retransmitted after ack timeout",
+            labels=labels,
+        )
+        registry.sampled_counter(
+            "repro_mpi_duplicates_suppressed",
+            lambda: self.duplicates_suppressed,
+            help="Reliable-channel envelopes dropped as already delivered",
+            labels=labels,
+        )
+        registry.sampled_counter(
+            "repro_mpi_retries_exhausted",
+            lambda: self.retries_exhausted,
+            help="Reliable-channel packets abandoned after the retry budget",
+            labels=labels,
+        )
+        registry.sampled_counter(
+            "repro_mpi_acks_sent",
+            lambda: self.acks_sent,
+            help="Transport acks posted for received reliable envelopes",
+            labels=labels,
+        )
+
     def _dispatch_packet(self, pkt: InboundPacket) -> typing.Generator:
         payload = pkt.payload
+        if isinstance(payload, ReliableEnvelope):
+            # Ack unconditionally -- the previous ack may have been lost --
+            # then suppress duplicates before the protocol layer sees them.
+            t = self.engine.elapse(self.params.post_cost)
+            if t is not None:
+                yield t
+            self.acks_sent += 1
+            self.nics[0].post_send(
+                self.nic_for(payload.src),
+                self.control_size,
+                AckPacket(payload.tseq, self.rank),
+                context=None,
+            )
+            seen = self._seen_tseq.setdefault(payload.src, set())
+            if payload.tseq in seen:
+                self.duplicates_suppressed += 1
+                return
+            seen.add(payload.tseq)
+            payload = payload.payload
+        elif isinstance(payload, AckPacket):
+            self._on_ack(payload)
+            return
         if isinstance(payload, EagerPacket):
             yield from self._on_eager(payload)
         elif isinstance(payload, RtsPacket):
@@ -391,8 +540,8 @@ class Endpoint:
                 notify_payload=pkt,
             )
         else:
-            self.nics[0].post_send(
-                self.nic_for(dest),
+            self.post_send_channel(
+                dest,
                 nbytes + self.control_size,
                 pkt,
                 context=self.track_local(on_send_done),
@@ -587,11 +736,17 @@ class Endpoint:
         return wrapper
 
     def quiescent(self) -> bool:
-        """True when no protocol state or stamped completion is outstanding."""
+        """True when no protocol state or stamped completion is outstanding.
+
+        With resilience armed, unacked reliable packets also count as
+        outstanding: Finalize keeps polling so late acks are consumed (or
+        until the retry budget abandons the packet).
+        """
         return (
             not self.sends
             and not self.recvs
             and self.pending_local_completions == 0
+            and not self._unacked
             and all(not nic.cq and not nic.inbound for nic in self.nics)
         )
 
@@ -613,9 +768,7 @@ class Endpoint:
         t = self.engine.elapse(self.params.post_cost)
         if t is not None:
             yield t
-        self.nics[0].post_send(
-            self.nic_for(dest), self.control_size, payload, context=None
-        )
+        self.post_send_channel(dest, self.control_size, payload)
 
 
 def _buffer_snapshot(data: object) -> object:

@@ -63,15 +63,47 @@ class FinPacket(typing.NamedTuple):
     data: object
 
 
+class ReliableEnvelope(typing.NamedTuple):
+    """Transport wrapper for the reliable send channel (resilience mode).
+
+    When :class:`~repro.faults.plan.ResilienceParams` is armed, every
+    send-channel packet travels inside an envelope carrying a per-sender
+    transport sequence number ``tseq``.  The receiver acks each envelope
+    and suppresses duplicates; the sender retransmits unacked envelopes
+    with exponential backoff.  The envelope is transport framing, never
+    user-message bytes, so it does not change XFER stamping: the inner
+    ``payload`` keeps its own classification.
+    """
+
+    tseq: int
+    src: int
+    payload: object
+
+
+class AckPacket(typing.NamedTuple):
+    """Transport-level acknowledgment of one :class:`ReliableEnvelope`.
+
+    Acks are themselves unreliable (they ride the lossy send channel,
+    unwrapped); a lost ack merely triggers a retransmission that the
+    receiver's duplicate suppression absorbs.
+    """
+
+    tseq: int
+    src: int  # the *acker's* rank (sender of this packet)
+
+
 def is_control_packet(payload: object) -> bool:
     """True when ``payload`` moves no user-message bytes on the wire.
 
     CTS and FIN are always control; an RTS is control unless a pipelined
     first fragment rides along (``frag_nbytes > 0``).  ``data`` fields on
     control packets carry zero-copy buffer *references* for the simulation,
-    not wire bytes, so they do not affect the classification.
+    not wire bytes, so they do not affect the classification.  A reliable
+    envelope classifies as its inner payload; acks are pure control.
     """
-    if isinstance(payload, (CtsPacket, FinPacket)):
+    if isinstance(payload, ReliableEnvelope):
+        payload = payload.payload
+    if isinstance(payload, (CtsPacket, FinPacket, AckPacket)):
         return True
     if isinstance(payload, RtsPacket):
         return payload.frag_nbytes <= 0

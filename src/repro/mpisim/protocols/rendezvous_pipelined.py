@@ -45,8 +45,8 @@ class PipelinedRdmaProtocol(RendezvousProtocol):
         def on_frag0_sent() -> None:
             ep.monitor.xfer_end(xid0, frag0)
 
-        ep.nics[0].post_send(
-            ep.nic_for(st.dest),
+        ep.post_send_channel(
+            st.dest,
             frag0 + ep.control_size,
             RtsPacket(st.seq, ep.rank, st.tag, st.nbytes, frag0, st.data,
                       st.req.context),

@@ -9,8 +9,7 @@ multi-rail (``nics_per_node > 1``) for the fragment-striping experiments.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.faults.inject import FaultInjector
 from repro.netsim.nic import Nic
 from repro.netsim.params import NetworkParams
 from repro.sim import Engine
@@ -39,16 +38,20 @@ class Fabric:
         #: Ground-truth physical transfer intervals (only populated when
         #: ``record_transfers`` -- used for bound validation).
         self.transfer_log: "list | None" = [] if record_transfers else None
-        # One seeded generator for the whole fabric: jittered runs replay
-        # identically for a fixed seed.
-        rng = (
-            np.random.default_rng(seed)
-            if params.latency_jitter_frac > 0.0
+        #: Live fault state for this run (None = healthy fabric).
+        self.injector = (
+            FaultInjector(params.faults, num_nodes)
+            if params.faults is not None
             else None
         )
+        # Jitter streams are derived per directed link inside each NIC from
+        # (seed, src, src_port, dst, dst_port), so jittered runs replay
+        # identically for a fixed seed regardless of traffic interleaving
+        # or multiprocess sweep scheduling.
         self._nics = [
             [
-                Nic(engine, params, node, port, rng=rng,
+                Nic(engine, params, node, port, seed=seed,
+                    injector=self.injector,
                     transfer_log=self.transfer_log)
                 for port in range(nics_per_node)
             ]

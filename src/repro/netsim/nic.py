@@ -23,8 +23,18 @@ import collections
 import enum
 import typing
 
+import numpy as np
+
 from repro.netsim.params import NetworkParams
 from repro.sim import Engine, Event
+
+if typing.TYPE_CHECKING:
+    from repro.faults.inject import FaultInjector
+
+# Stream-family discriminator for per-link latency-jitter RNGs (mixed into
+# the derived seed so jitter never shares a stream with the fault families
+# in repro.faults.inject, which occupy 1 and 2).
+_FAMILY_JITTER = 3
 
 # Per-NIC burst streams (see ``Nic._burst_at``).  Each stream's completion
 # times are monotone non-decreasing by construction, which is what lets a
@@ -87,16 +97,22 @@ class Nic:
         params: NetworkParams,
         node: int,
         port: int = 0,
-        rng: object = None,
+        seed: int = 0,
+        injector: "FaultInjector | None" = None,
         transfer_log: "list[TransferRecord] | None" = None,
     ) -> None:
         self.engine = engine
         self.params = params
         self.node = node
         self.port = port
-        #: Shared seeded RNG (from the fabric) for latency jitter; None
-        #: means a perfectly regular wire.
-        self._rng = rng
+        #: Fabric seed; per-link jitter streams derive from it lazily.
+        self._seed = seed
+        #: Per-destination jitter RNGs, keyed by (dst_node, dst_port).
+        #: Seeding each directed link independently keeps jitter replayable
+        #: even when sweep workers interleave traffic differently.
+        self._jitter: dict[tuple[int, int], typing.Any] = {}
+        #: Live fault state shared across the fabric (None = healthy).
+        self._inj = injector
         #: Fabric-wide ground-truth transfer log (None = not recording).
         self._transfer_log = transfer_log
         #: FIFO availability of the TX wire.
@@ -183,22 +199,52 @@ class Nic:
         ev.callbacks.append(fn)  # type: ignore[union-attr]
 
     # -- timing helpers ------------------------------------------------------
-    def _latency(self) -> float:
-        """Per-message wire latency, optionally jittered (seeded RNG)."""
+    def _latency(self, dst: "Nic") -> float:
+        """Per-message wire latency on the link to ``dst``.
+
+        Jitter (when enabled) comes from a lazily created stream seeded by
+        ``(seed, family, src, src_port, dst, dst_port)``: each directed
+        link owns its own RNG, so the draw sequence on one link is a pure
+        function of that link's traffic.  Straggler nodes see all their
+        latencies scaled.
+        """
         p = self.params
-        if p.latency_jitter_frac <= 0.0 or self._rng is None:
-            return p.latency
-        swing = p.latency_jitter_frac * (2.0 * self._rng.random() - 1.0)
-        return p.latency * (1.0 + swing)
+        if p.latency_jitter_frac <= 0.0:
+            lat = p.latency
+        else:
+            key = (dst.node, dst.port)
+            rng = self._jitter.get(key)
+            if rng is None:
+                rng = self._jitter[key] = np.random.default_rng(
+                    (self._seed, _FAMILY_JITTER, self.node, self.port,
+                     dst.node, dst.port)
+                )
+            swing = p.latency_jitter_frac * (2.0 * rng.random() - 1.0)
+            lat = p.latency * (1.0 + swing)
+        if self._inj is not None:
+            lat *= self._inj.straggler_factor(self.node)
+        return lat
 
     def _tx_stream(self, nbytes: float) -> float:
         """Occupy this NIC's TX port; returns the TX completion time.
 
         Each message costs its serialization time plus the NIC's
-        per-message processing overhead (the message-rate limit).
+        per-message processing overhead (the message-rate limit).  Under a
+        fault plan the start is pushed past stall windows, overhead scales
+        with the node's straggler factor, and serialization scales with
+        any degradation window covering the start.
         """
         start = max(self.engine.now, self.tx_busy_until)
-        end = start + self.params.per_message_overhead + self.params.wire_time(nbytes)
+        if self._inj is not None:
+            inj = self._inj
+            start = inj.stall_adjust(self.node, start)
+            end = (
+                start
+                + self.params.per_message_overhead * inj.straggler_factor(self.node)
+                + self.params.wire_time(nbytes) * inj.degrade_factor(self.node, start)
+            )
+        else:
+            end = start + self.params.per_message_overhead + self.params.wire_time(nbytes)
         self.tx_busy_until = end
         return end
 
@@ -206,7 +252,12 @@ class Nic:
     def _rx_stream(dst: "Nic", first_byte: float, nbytes: float) -> float:
         """Occupy ``dst``'s RX port; returns the full-arrival time."""
         start = max(first_byte, dst.rx_busy_until)
-        end = start + dst.params.wire_time(nbytes)
+        inj = dst._inj
+        if inj is not None:
+            start = inj.stall_adjust(dst.node, start)
+            end = start + dst.params.wire_time(nbytes) * inj.degrade_factor(dst.node, start)
+        else:
+            end = start + dst.params.wire_time(nbytes)
         dst.rx_busy_until = end
         return end
 
@@ -222,17 +273,38 @@ class Nic:
 
         A ``SEND_DONE`` CQ entry appears locally once the DMA engine has
         drained the host buffer (TX completion).
+
+        Send-channel packets are the lossy part of the fabric: under a
+        fault plan a packet may be silently dropped on the wire (the TX
+        port is still consumed and ``SEND_DONE`` still fires -- the sender
+        NIC cannot tell), delivered twice, or delayed past later traffic.
+        RDMA verbs model reliable-connection hardware and never lose data.
         """
         self._check_dst(dst)
+        verdict = None
+        if self._inj is not None:
+            verdict = self._inj.roll(self.node, dst.node)
         tx_end = self._tx_stream(nbytes)
-        first_byte = tx_end - self.params.wire_time(nbytes) + self._latency()
-        arrival = self._rx_stream(dst, first_byte, nbytes)
         self.bytes_sent += nbytes
         self.messages_sent += 1
 
         def local_complete(_ev: Event) -> None:
             self.cq.append(CompletionEntry(CompletionKind.SEND_DONE, context, nbytes))
             self._kick()
+
+        if verdict is not None and verdict.drop:
+            # The wire ate the packet: local completion only, no arrival.
+            if self._fast:
+                self._burst_at(_STREAM_TX, tx_end, local_complete)
+            else:
+                self._at(tx_end, local_complete)
+            return
+
+        first_byte = tx_end - self.params.wire_time(nbytes) + self._latency(dst)
+        arrival = self._rx_stream(dst, first_byte, nbytes)
+        if verdict is not None and verdict.reorder:
+            # Held in the switch, overtaken by packets posted after it.
+            arrival += self._inj.plan.reorder_delay
 
         def deliver(_ev: Event) -> None:
             dst.inbound.append(InboundPacket(self.node, payload, nbytes))
@@ -243,9 +315,13 @@ class Nic:
         if self._fast:
             self._burst_at(_STREAM_TX, tx_end, local_complete)
             dst._burst_at(_STREAM_RX, arrival, deliver)
+            if verdict is not None and verdict.duplicate:
+                dst._burst_at(_STREAM_RX, arrival, deliver)
         else:
             self._at(tx_end, local_complete)
             self._at(arrival, deliver)
+            if verdict is not None and verdict.duplicate:
+                self._at(arrival, deliver)
         self._record(dst, nbytes, tx_end, arrival, "send")
 
     def post_rdma_write(
@@ -264,7 +340,7 @@ class Nic:
         """
         self._check_dst(dst)
         tx_end = self._tx_stream(nbytes)
-        first_byte = tx_end - self.params.wire_time(nbytes) + self._latency()
+        first_byte = tx_end - self.params.wire_time(nbytes) + self._latency(dst)
         arrival = self._rx_stream(dst, first_byte, nbytes)
         self.bytes_sent += nbytes
         self.messages_sent += 1
@@ -314,7 +390,7 @@ class Nic:
             tx_end = target._tx_stream(nbytes)
             target.bytes_sent += nbytes
             target.messages_sent += 1
-            first_byte = tx_end - target.params.wire_time(nbytes) + target._latency()
+            first_byte = tx_end - target.params.wire_time(nbytes) + target._latency(self)
             arrival = Nic._rx_stream(self, first_byte, nbytes)
 
             def data_arrived(_ev: Event) -> None:

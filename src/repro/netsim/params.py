@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.faults.plan import FaultPlan
+
 
 @dataclasses.dataclass(frozen=True)
 class NetworkParams:
@@ -54,6 +56,12 @@ class NetworkParams:
     #: timestamps, fewer scheduler operations -- see docs/performance.md);
     #: ``"packet"`` schedules every completion individually.
     network_path: str = "fast"
+    #: Fault-injection schedule (see :mod:`repro.faults`).  ``None`` (the
+    #: default) keeps every code path bit-identical to a fault-free build;
+    #: a :class:`~repro.faults.plan.FaultPlan` arms drop/dup/reorder,
+    #: degradation windows, NIC stalls, stragglers, and instrumentation
+    #: loss, all deterministically seeded.
+    faults: FaultPlan | None = None
 
     def wire_time(self, nbytes: float) -> float:
         """Serialization time of ``nbytes`` on one NIC port."""
@@ -73,7 +81,7 @@ class NetworkParams:
 
     def __post_init__(self) -> None:
         for field in dataclasses.fields(self):
-            if field.name == "network_path":
+            if field.name in ("network_path", "faults"):
                 continue
             value = getattr(self, field.name)
             if value < 0:

@@ -15,6 +15,7 @@ from repro.core.monitor import Monitor, NullMonitor
 from repro.core.report import OverlapReport
 from repro.core.trace import TraceSink
 from repro.core.xfer_table import XferTable
+from repro.faults.watchdog import diagnose
 from repro.mpisim.config import MpiConfig
 from repro.mpisim.endpoint import Endpoint
 from repro.netsim.fabric import Fabric
@@ -23,6 +24,7 @@ from repro.runtime.world import RankContext
 from repro.sim import Engine
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.watchdog import WatchdogConfig, WatchdogDiagnostic
     from repro.metrics import MetricsRegistry
     from repro.telemetry.collect import TelemetryConfig, TelemetryResult
 
@@ -55,6 +57,9 @@ class RunResult:
         self.compute_logs: list[list[tuple[float, float]]] = []
         #: Time-resolved telemetry (set when run_app got a TelemetryConfig).
         self.telemetry: "TelemetryResult | None" = None
+        #: Post-mortem snapshot when a watchdog stopped the run early
+        #: (None for a run that completed normally).
+        self.watchdog: "WatchdogDiagnostic | None" = None
 
     def report(self, rank: int = 0) -> OverlapReport:
         """The report of one rank (the paper presents "data for process 0")."""
@@ -102,6 +107,7 @@ def run_app(
     record_transfers: bool = False,
     telemetry: "TelemetryConfig | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    watchdog: "WatchdogConfig | None" = None,
 ) -> RunResult:
     """Run ``app(ctx, *app_args)`` on ``nprocs`` simulated ranks.
 
@@ -114,9 +120,14 @@ def run_app(
     rank's monitor stack register health metrics in the given
     :class:`~repro.metrics.MetricsRegistry` (per-rank metrics labeled
     ``rank="N"``); ``None`` keeps the nil fast path.
-    Raises whatever any rank's generator raises; a hang (every rank
-    blocked with no scheduled events) surfaces as a deadlock error from
-    the engine.
+    ``watchdog`` arms the engine watchdog: instead of hanging (or
+    raising on deadlock) a wedged run is stopped early, a
+    :class:`~repro.faults.watchdog.WatchdogDiagnostic` is attached as
+    ``result.watchdog``, and the monitors finalize normally -- partial
+    reports resolve in-flight transfers under the paper's Case 3 bounds.
+    Without a watchdog, raises whatever any rank's generator raises; a
+    hang (every rank blocked with no scheduled events) surfaces as a
+    deadlock error from the engine.
     """
     if nprocs < 1:
         raise ValueError("need at least one rank")
@@ -142,8 +153,16 @@ def run_app(
         engine, params, nprocs, config.nics_per_node, seed=seed,
         record_transfers=record_transfers,
     )
+    injector = fabric.injector
+    if injector is not None and metrics is not None:
+        injector.attach_metrics(metrics)
+    # Degraded instrumentation (fault plans only): per-rank stamp-loss
+    # streams and/or a bounded ring replacing the drained queue.
+    degraded = injector is not None and injector.plan.degrades_instrumentation
+    ring_capacity = injector.plan.ring_capacity if degraded else 0
     monitors: list[Monitor | NullMonitor] = []
     contexts: list[RankContext] = []
+    endpoints: list[Endpoint] = []
     sinks: list[TraceSink | None] = []
     for rank in range(nprocs):
         monitor: Monitor | NullMonitor
@@ -152,11 +171,13 @@ def run_app(
             monitor = Monitor(
                 clock=lambda: engine.now,
                 xfer_table=table,
-                queue_capacity=config.queue_capacity,
+                queue_capacity=ring_capacity or config.queue_capacity,
                 bin_edges=config.bin_edges,
                 processor_factory=processor_factory,
                 metrics=metrics,
                 metrics_labels={"rank": str(rank)} if metrics is not None else None,
+                stamp_loss=injector.stamp_loss(rank) if degraded else None,
+                ring_mode=ring_capacity > 0,
             )
             if telemetry is not None and telemetry.collect_trace:
                 sink = TraceSink()
@@ -172,7 +193,10 @@ def run_app(
         else:
             monitor = NullMonitor()
         endpoint = Endpoint(engine, fabric, rank, nprocs, config, monitor)
+        if metrics is not None and config.resilience is not None:
+            endpoint.attach_metrics(metrics, {"rank": str(rank)})
         monitors.append(monitor)
+        endpoints.append(endpoint)
         sinks.append(sink)
         contexts.append(RankContext(engine, endpoint, monitor))
 
@@ -187,13 +211,41 @@ def run_app(
         return result
 
     procs = [engine.process(rank_main(rank)) for rank in range(nprocs)]
-    engine.run()
-    stuck = [p.name for p in procs if p.is_alive]
-    if stuck:
-        raise RuntimeError(
-            f"deadlock: {len(stuck)} rank(s) never finished "
-            "(blocked on communication that cannot arrive)"
+    diag = None
+    if watchdog is None:
+        engine.run()
+        stuck = [p.name for p in procs if p.is_alive]
+        if stuck:
+            raise RuntimeError(
+                f"deadlock: {len(stuck)} rank(s) never finished "
+                "(blocked on communication that cannot arrive)"
+            )
+    else:
+        # Progress = useful work, not engine activity: events stamped by
+        # the monitors plus packets received by any NIC.  A retransmission
+        # storm keeps the engine busy but moves neither, so it trips the
+        # stall guard instead of spinning forever.
+        def progress() -> int:
+            stamped = sum(m.event_count for m in monitors)
+            received = sum(
+                nic.messages_received
+                for node in range(nprocs)
+                for nic in fabric.nics_of(node)
+            )
+            return stamped + received
+
+        reason = engine.run_guarded(
+            max_sim_time=watchdog.max_sim_time,
+            stall_sim_time=watchdog.stall_sim_time,
+            check_interval=watchdog.check_interval,
+            progress=progress,
         )
+        if reason is None and any(p.is_alive for p in procs):
+            # Event store drained with ranks still blocked: a true deadlock
+            # (the unguarded path would have raised here).
+            reason = "deadlock"
+        if reason is not None:
+            diag = diagnose(engine, reason, procs, endpoints)
 
     reports: list[OverlapReport | None] = []
     for rank, monitor in enumerate(monitors):
@@ -209,6 +261,7 @@ def run_app(
         config=config,
         fabric=fabric,
     )
+    result.watchdog = diag
     #: Per-rank ground-truth computation intervals (bound validation).
     result.compute_logs = [ctx.compute_log for ctx in contexts]
     if telemetry is not None:

@@ -552,6 +552,60 @@ class Engine:
         if not event._ok and not event._defused:
             raise typing.cast(BaseException, event._value)
 
+    def run_guarded(
+        self,
+        max_sim_time: "float | None" = None,
+        stall_sim_time: "float | None" = None,
+        check_interval: "float | None" = None,
+        progress: "typing.Callable[[], object] | None" = None,
+    ) -> "str | None":
+        """Run with giving-up guards; never hangs a wedged simulation.
+
+        Steps the clock in ``check_interval`` chunks (default: a quarter of
+        the tightest guard) via ``run(until=...)`` and between chunks
+        checks two guards:
+
+        * ``max_sim_time`` -- total simulated seconds this call may cover;
+        * ``stall_sim_time`` -- give up when the *progress token* stays
+          flat for that much simulated time.  ``progress`` supplies the
+          token (any comparable value -- e.g. events stamped + packets
+          delivered); without it the engine's ``processed_count`` is used,
+          which detects dead clocks but not live-locks that churn events
+          (retransmission storms), so callers that can should pass a
+          token measuring useful work.
+
+        Returns ``None`` when the store drained (normal completion),
+        ``"max_sim_time"`` or ``"stalled"`` when a guard fired -- the
+        caller decides what to do (dump diagnostics, harvest partial
+        reports).  Timestamps of everything dispatched are bit-identical
+        to a plain ``run()`` of the same schedule; the only difference is
+        that ``now`` lands on the last chunk boundary instead of the final
+        event time.
+        """
+        if max_sim_time is None and stall_sim_time is None:
+            raise SimulationError("run_guarded needs max_sim_time or stall_sim_time")
+        guards = [g for g in (max_sim_time, stall_sim_time) if g is not None]
+        check = check_interval if check_interval is not None else min(guards) / 4.0
+        if check <= 0.0:
+            raise SimulationError(f"check interval must be positive, got {check!r}")
+        deadline = self.now + max_sim_time if max_sim_time is not None else _INF
+        token = progress() if progress is not None else self.processed_count
+        anchor = self.now
+        while True:
+            if self.pending_count - self._dead_pending <= 0:
+                return None  # drained before the chunk started
+            self.run(until=min(self.now + check, deadline))
+            if self.pending_count - self._dead_pending <= 0:
+                return None
+            if self.now >= deadline:
+                return "max_sim_time"
+            current = progress() if progress is not None else self.processed_count
+            if current != token:
+                token = current
+                anchor = self.now
+            elif stall_sim_time is not None and self.now - anchor >= stall_sim_time:
+                return "stalled"
+
     def run(self, until: "float | Event | None" = None) -> object:
         """Run until the store drains, a deadline passes, or an event fires.
 

@@ -24,7 +24,7 @@ import typing
 from repro.analysis.tables import render_size_breakdown
 from repro.core.report import OverlapReport
 from repro.experiments.nas_char import MPI_BENCHMARKS
-from repro.experiments.runner import ResultCache, Task, run_tasks
+from repro.experiments.runner import FailedTask, ResultCache, Task, run_tasks
 
 
 def _run_cell(
@@ -36,6 +36,8 @@ def _run_cell(
     modified: bool,
     nonblocking: bool,
     emit_metrics: bool = False,
+    faults: "str | None" = None,
+    fault_seed: int = 0,
 ) -> dict:
     """Worker: one (benchmark, class, np) cell; returns a plain-data payload.
 
@@ -44,7 +46,13 @@ def _run_cell(
     pool and live in the result cache.  With ``emit_metrics`` the run
     carries a :class:`~repro.metrics.MetricsRegistry` and the payload
     gains the rendered OpenMetrics text plus the JSON snapshot.
+    ``faults`` is a :func:`repro.faults.plan.parse_fault_spec` string;
+    packet faults auto-arm the reliable transport, and every faulted run
+    is guarded by a watchdog so a wedged cell terminates with a partial
+    report plus diagnostic instead of hanging the sweep.
     """
+    import dataclasses as _dc
+
     from repro.armci import ArmciConfig, run_armci_app
     from repro.mpisim.config import mvapich2_like, openmpi_like
     from repro.nas.mg import mg_app
@@ -57,10 +65,23 @@ def _run_cell(
 
         registry = MetricsRegistry()
 
+    params = None
+    watchdog = None
+    plan = None
+    if faults:
+        from repro.faults import FaultPlan  # noqa: F401 (import check)
+        from repro.faults.plan import parse_fault_spec
+        from repro.faults.watchdog import WatchdogConfig
+        from repro.netsim.params import NetworkParams
+
+        plan = parse_fault_spec(faults, seed=fault_seed)
+        params = NetworkParams(faults=plan)
+        watchdog = WatchdogConfig(stall_sim_time=0.05, max_sim_time=60.0)
+
     label = f"{benchmark}.{klass}.{nprocs}"
     if benchmark == "mg":
         result = run_armci_app(
-            mg_app, nprocs, config=ArmciConfig(), label=label,
+            mg_app, nprocs, config=ArmciConfig(), params=params, label=label,
             app_args=(klass, niter, None, not nonblocking),
             metrics=registry,
         )
@@ -72,6 +93,12 @@ def _run_cell(
             config = mvapich2_like()
         else:
             config = config_factory()
+        if plan is not None and plan.has_packet_faults and config.resilience is None:
+            # A lossy fabric without retransmission cannot complete: arm
+            # the reliable transport with its defaults.
+            from repro.faults.plan import ResilienceParams
+
+            config = _dc.replace(config, resilience=ResilienceParams())
         if benchmark == "sp":
             app_args: tuple = (klass, niter, None, modified)
             app = sp_app
@@ -81,8 +108,9 @@ def _run_cell(
             app_args = (klass, None, 1e-3)
         else:
             app_args = (klass, niter, None)
-        result = run_app(app, nprocs, config=config, label=label,
-                         app_args=app_args, metrics=registry)
+        result = run_app(app, nprocs, config=config, params=params, label=label,
+                         app_args=app_args, metrics=registry,
+                         watchdog=watchdog)
 
     payload = {
         "label": label,
@@ -92,6 +120,18 @@ def _run_cell(
             for rep in result.reports
         ],
     }
+    injector = getattr(result.fabric, "injector", None)
+    if injector is not None:
+        payload["faults"] = {
+            "spec": faults,
+            "seed": fault_seed,
+            "packets_dropped": injector.packets_dropped,
+            "packets_duplicated": injector.packets_duplicated,
+            "packets_reordered": injector.packets_reordered,
+        }
+    diag = getattr(result, "watchdog", None)
+    if diag is not None:
+        payload["watchdog"] = diag.render_text()
     if registry is not None:
         from repro.metrics import render_openmetrics
 
@@ -142,6 +182,19 @@ def make_parser() -> argparse.ArgumentParser:
                         help="which rank's report to print")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for a --np grid (1 = serial)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject fabric/instrumentation faults, e.g. "
+                        "'drop=0.05,dup=0.01,reorder=0.02' or "
+                        "'events=0.2,ring=256' (see repro.faults.plan); "
+                        "packet faults auto-arm the reliable transport and "
+                        "a watchdog")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the deterministic fault streams")
+    parser.add_argument("--on-error", choices=["raise", "continue"],
+                        default="raise",
+                        help="'continue' turns a crashed/failed grid cell "
+                        "into a reported failure instead of aborting the "
+                        "sweep")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not update the on-disk result "
                         "cache")
@@ -173,12 +226,21 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     tasks = [
         Task(_run_cell, (args.benchmark, args.klass, nprocs, args.niter,
                          args.library, args.modified, args.nonblocking,
-                         args.metrics_dir is not None))
+                         args.metrics_dir is not None,
+                         args.faults, args.fault_seed))
         for nprocs in args.nprocs
     ]
-    payloads = run_tasks(tasks, jobs=args.jobs, cache=cache, progress=progress)
+    payloads = run_tasks(tasks, jobs=args.jobs, cache=cache, progress=progress,
+                         on_error=args.on_error)
 
+    failed = 0
     for i, payload in enumerate(payloads):
+        if isinstance(payload, FailedTask):
+            failed += 1
+            if i:
+                print("\n" + "=" * 66 + "\n")
+            print(f"cell {payload.name} FAILED: {payload.error}")
+            continue
         reports = [
             OverlapReport.from_dict(d) if d is not None else None
             for d in payload["reports"]
@@ -192,6 +254,15 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             print()
             print(render_size_breakdown(report, "by message size:"))
         print(f"\njob wall time: {payload['elapsed'] * 1e3:.3f} ms (simulated)")
+        if "faults" in payload:
+            f = payload["faults"]
+            print(f"faults ({f['spec']!r}, seed {f['seed']}): "
+                  f"dropped={f['packets_dropped']} "
+                  f"duplicated={f['packets_duplicated']} "
+                  f"reordered={f['packets_reordered']}")
+        if "watchdog" in payload:
+            print(payload["watchdog"])
+            print("(reports above are PARTIAL: the watchdog stopped this run)")
 
         if args.report_dir:
             out = pathlib.Path(args.report_dir)
@@ -212,6 +283,9 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             print(f"wrote framework metrics to {om_path}")
     if cache is not None and cache.hits:
         print(f"({cache.hits} of {len(tasks)} cells served from cache)")
+    if failed:
+        print(f"{failed} of {len(tasks)} cells failed")
+        return 1
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.analysis.tables import (
     render_overhead,
     render_sp_tuning,
 )
+from repro.experiments.faultmatrix import fault_matrix, render_fault_matrix
 from repro.experiments.micro import overlap_sweep
 from repro.experiments.nas_char import characterize_matrix, characterize_mg
 from repro.experiments.overhead import overhead_suite
@@ -95,6 +96,13 @@ def build_sections(quick: bool) -> "dict[str, typing.Callable[[], str]]":
                                   ("lu", "S" if quick else "A", 4)),
                            niter=niter),
             "Fig 20: instrumentation overhead"),
+        # Beyond the paper: the robustness appendix.  A degraded fabric
+        # (drops / dups / reorders / lost stamps) must degrade the bounds
+        # toward Case 3, never the report algebra.
+        "robustness": lambda: render_fault_matrix(
+            fault_matrix(seed=0, klass="S", nprocs=2, niter=niter),
+            "Robustness appendix: fault kinds x wire protocols (NAS LU, "
+            "watchdog-guarded, internal invariants checked)"),
     }
 
 

@@ -252,3 +252,71 @@ def test_parallel_sweep_equals_serial_sweep(tmp_path):
 def test_parallel_sweep_rejects_bad_pattern():
     with pytest.raises(ValueError):
         overlap_sweep_parallel("sendrecv", 1.0, [0.0], MpiConfig())
+
+
+# ---------------------------------------------------------------------------
+# on_error="continue": crashed/raising workers become FailedTask cells
+# ---------------------------------------------------------------------------
+def _raise_for(x):
+    if x == 2:
+        raise ValueError(f"cell {x} is cursed")
+    return x * 10
+
+
+def _hard_exit(x):
+    if x == 1:
+        os._exit(42)  # simulates a segfaulted worker: no exception, no result
+    return x * 10
+
+
+def test_on_error_continue_serial_isolates_failures():
+    from repro.experiments.runner import FailedTask
+
+    out = run_tasks([Task(_raise_for, (i,)) for i in range(4)],
+                    on_error="continue")
+    assert out[0] == 0 and out[1] == 10 and out[3] == 30
+    assert isinstance(out[2], FailedTask)
+    assert not out[2]  # falsy, so `if value:` skips failed cells
+    assert "cursed" in out[2].error
+    assert "ValueError" in out[2].traceback
+
+
+def test_on_error_continue_parallel_isolates_failures():
+    from repro.experiments.runner import FailedTask
+
+    out = run_tasks([Task(_raise_for, (i,)) for i in range(4)],
+                    jobs=2, on_error="continue")
+    assert [out[0], out[1], out[3]] == [0, 10, 30]
+    assert isinstance(out[2], FailedTask) and "cursed" in out[2].error
+
+
+def test_on_error_continue_survives_worker_death():
+    from repro.experiments.runner import FailedTask
+
+    out = run_tasks([Task(_hard_exit, (i,)) for i in range(3)],
+                    jobs=2, on_error="continue")
+    assert out[0] == 0 and out[2] == 20
+    assert isinstance(out[1], FailedTask)
+    assert out[1].exitcode == 42
+
+
+def test_on_error_raise_is_still_the_default():
+    with pytest.raises(ValueError, match="cursed"):
+        run_tasks([Task(_raise_for, (i,)) for i in range(4)])
+    with pytest.raises(ValueError, match="cursed"):
+        run_tasks([Task(_raise_for, (i,)) for i in range(4)], jobs=2)
+    with pytest.raises(ValueError, match="on_error"):
+        run_tasks([Task(_square, (1,))], on_error="ignore")
+
+
+def test_failed_cells_are_not_cached(tmp_path):
+    from repro.experiments.runner import FailedTask
+
+    cache = ResultCache(tmp_path / "cache")
+    tasks = [Task(_raise_for, (i,)) for i in (1, 2)]
+    first = run_tasks(tasks, cache=cache, on_error="continue")
+    assert first[0] == 10 and isinstance(first[1], FailedTask)
+    again = ResultCache(tmp_path / "cache")
+    second = run_tasks(tasks, cache=again, on_error="continue")
+    assert second[0] == 10 and isinstance(second[1], FailedTask)
+    assert again.hits == 1  # only the good cell was cached; the bad re-ran

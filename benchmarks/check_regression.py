@@ -3,14 +3,18 @@
 Compares a freshly measured ``BENCH_simulator.json`` against the floor
 committed in the repository and fails (exit 1) when a guarded number
 regresses by more than the tolerance: ``engine_ping_pong.events_per_s``
-may not drop, and ``full_stack_lu.mean_s`` may not rise, by more than
-15% (CI machines are noisy; a real perf bug moves these far more).
+and the sharded scale curve (``shard_scale.events_per_s_x1``, the
+``speedup_x4`` capacity ratio) may not drop, and ``full_stack_lu.mean_s``
+may not rise, by more than 15% (CI machines are noisy; a real perf bug
+moves these far more).  With the committed ``speedup_x4`` at ~3x, the
+15% tolerance keeps the effective floor above the 2.5x acceptance bar.
 
 Usage (CI snapshots the committed file before the bench run rewrites
 it)::
 
     cp BENCH_simulator.json /tmp/bench_floor.json
-    pytest benchmarks/test_simulator_performance.py --benchmark-only
+    pytest benchmarks/test_simulator_performance.py \\
+        benchmarks/test_shard_scale.py --benchmark-only
     python benchmarks/check_regression.py \\
         --floor /tmp/bench_floor.json --current BENCH_simulator.json
 """
@@ -25,6 +29,8 @@ import sys
 CHECKS = (
     ("engine_ping_pong", "events_per_s", "higher"),
     ("full_stack_lu", "mean_s", "lower"),
+    ("shard_scale", "events_per_s_x1", "higher"),
+    ("shard_scale", "speedup_x4", "higher"),
 )
 DEFAULT_TOLERANCE = 0.15
 

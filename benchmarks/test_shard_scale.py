@@ -1,0 +1,86 @@
+"""Shard scale curve: aggregate engine capacity vs shard count.
+
+Runs the synthetic halo exchange (``repro.experiments.halo``) through the
+sharded parallel-DES engine at shards=1,2,4,8 and records the scale curve
+into ``BENCH_simulator.json`` for ``benchmarks/check_regression.py`` to
+guard.
+
+The guarded number is *capacity*, not wall clock: aggregate events
+retired divided by the busiest worker's CPU time
+(``max(sync_stats["busy_s"])``).  On a machine with >= shards free cores
+capacity equals wall-clock throughput; on a throttled 1-core CI runner
+the workers time-slice and wall clock cannot improve, but capacity still
+measures what the partition achieved -- how much the critical-path
+worker's load shrank.  See docs/performance.md ("Measuring the win on
+shared CI runners").
+
+Run with::
+
+    pytest benchmarks/test_shard_scale.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.halo import halo_app
+from repro.mpisim.config import mvapich2_like
+from repro.runtime import run_app
+
+RANKS = 32
+STEPS = 120
+NBYTES = 4096.0
+COMPUTE_S = 20.0e-6
+SHARDS = (1, 2, 4, 8)
+
+
+def _run_curve() -> dict[int, dict]:
+    curve: dict[int, dict] = {}
+    for n in SHARDS:
+        result = run_app(
+            halo_app, RANKS, config=mvapich2_like(),
+            app_args=(STEPS, NBYTES, COMPUTE_S),
+            label=f"halo.{RANKS}.x{n}", shards=n,
+        )
+        st = result.sync_stats
+        busy = max(st["busy_s"])
+        curve[n] = {
+            "events": st["events"],
+            "busy_s": busy,
+            "events_per_s": st["events"] / busy,
+            "rounds": st["rounds"],
+        }
+    return curve
+
+
+def test_shard_scale_curve(benchmark, bench_record, emit):
+    """Capacity at shards=1,2,4,8 on the halo-exchange workload."""
+    curve = benchmark.pedantic(_run_curve, rounds=1, iterations=1)
+    base = curve[SHARDS[0]]["events_per_s"]
+    speedup = {n: curve[n]["events_per_s"] / base for n in SHARDS}
+    bench_record["shard_scale"] = {
+        "workload": (f"halo {RANKS} ranks x {STEPS} steps, "
+                     f"{NBYTES:.0f} B, {COMPUTE_S * 1e6:.0f} us compute"),
+        "metric": "aggregate events / max per-worker busy CPU seconds",
+        "shards": list(SHARDS),
+        "events_per_s": [round(curve[n]["events_per_s"]) for n in SHARDS],
+        "events_per_s_x1": round(curve[1]["events_per_s"]),
+        "speedup_x2": round(speedup[2], 2),
+        "speedup_x4": round(speedup[4], 2),
+        "speedup_x8": round(speedup[8], 2),
+        "sync_rounds": curve[SHARDS[-1]]["rounds"],
+    }
+    emit(
+        "shard_scale",
+        f"shard scale curve (halo exchange, {RANKS} ranks):\n"
+        + "\n".join(
+            f"  shards={n}: {curve[n]['events_per_s'] / 1e3:8.0f}k ev/s "
+            f"({speedup[n]:.2f}x, busiest worker {curve[n]['busy_s']:.2f}s "
+            f"CPU, {curve[n]['rounds']} sync rounds)"
+            for n in SHARDS
+        ),
+    )
+    # The acceptance floor is 2.5x at shards=4 (guarded with tolerance by
+    # check_regression.py against the committed curve); assert a looser
+    # in-test bound so a noisy runner flags real collapse, not jitter.
+    assert speedup[4] >= 2.0, (
+        f"shard capacity collapsed: {speedup[4]:.2f}x at shards=4"
+    )

@@ -1,0 +1,62 @@
+"""Synthetic halo exchange: the shard scale-curve workload.
+
+A 1-D ring decomposition with nearest-neighbor boundary exchange -- the
+communication skeleton of every stencil code.  Each step posts eager-sized
+``isend``/``irecv`` pairs to both neighbors, computes the interior while
+they fly, then ``waitall``s: the canonical computation-communication
+overlap pattern the paper instruments (Sec. 2), reduced to its minimal
+form.
+
+Because traffic is strictly nearest-neighbor in rank order, a contiguous
+rank partition cuts exactly two directed links per shard boundary --
+independent of the rank count -- which makes this the reference workload
+for the sharded engine's scale curve (``benchmarks/check_regression.py``):
+per-shard work grows with ranks-per-shard while cross-shard traffic stays
+constant.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.runtime.world import RankContext
+
+_TAG_LEFT = 710
+_TAG_RIGHT = 711
+
+
+def halo_app(
+    ctx: RankContext,
+    steps: int = 50,
+    nbytes: float = 4096.0,
+    compute_s: float = 20.0e-6,
+) -> typing.Generator:
+    """One rank of a periodic 1-D halo exchange; returns steps completed.
+
+    Per step: post receives from both ring neighbors, send both boundary
+    pencils (``nbytes`` each -- keep it below the eager limit so the
+    exchange needs no rendezvous round-trips), overlap ``compute_s`` of
+    interior work, then wait for all four requests.
+    """
+    comm = ctx.comm
+    size = ctx.size
+    rank = ctx.rank
+    left = (rank - 1) % size
+    right = (rank + 1) % size
+    for _step in range(steps):
+        if size > 1:
+            rl = yield from comm.irecv(left, _TAG_RIGHT)
+            rr = yield from comm.irecv(right, _TAG_LEFT)
+            sl = yield from comm.isend(left, _TAG_LEFT, nbytes,
+                                       bufkey="halo-left")
+            sr = yield from comm.isend(right, _TAG_RIGHT, nbytes,
+                                       bufkey="halo-right")
+        yield from ctx.compute(compute_s)
+        if size > 1:
+            yield from comm.waitall([rl, rr, sl, sr])
+    return steps
+
+
+def halo_edges(nprocs: int) -> list[tuple[int, int]]:
+    """The ring's communication graph (for the topology partitioner)."""
+    return [(r, (r + 1) % nprocs) for r in range(nprocs)]

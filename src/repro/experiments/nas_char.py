@@ -78,8 +78,15 @@ def characterize(
     cpu: CpuModel | None = None,
     config: MpiConfig | None = None,
     lu_planes: int | None = None,
+    shards: int | None = None,
+    shard_sync: str = "window",
 ) -> CharPoint:
-    """Run one MPI NAS benchmark cell and return its characterization."""
+    """Run one MPI NAS benchmark cell and return its characterization.
+
+    ``shards`` routes the cell through the sharded parallel-DES engine
+    (:mod:`repro.sim.parallel`); reports are bit-identical to the
+    single-process channel-delivery run by construction.
+    """
     try:
         app, config_factory = MPI_BENCHMARKS[benchmark]
     except KeyError:
@@ -96,7 +103,7 @@ def characterize(
         args = (klass, niter, cpu)
     result = run_app(
         app, nprocs, config=cfg, label=f"{benchmark}.{klass}.{nprocs}",
-        app_args=args,
+        app_args=args, shards=shards, shard_sync=shard_sync,
     )
     return CharPoint(benchmark, klass, nprocs, "", result.report(0), result.elapsed)
 

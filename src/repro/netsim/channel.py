@@ -1,0 +1,163 @@
+"""Explicit cross-NIC message channels (the shard boundary).
+
+Under the classic ``delivery="direct"`` semantics a sender reserves the
+*receiver's* RX port at post time -- a read-modify-write of remote NIC
+state that only works when every NIC lives in one event store.  Channel
+delivery (``delivery="channel"``) removes every such remote touch: all
+five cross-NIC effects become timestamped :class:`ChannelMsg` records
+routed to the NIC that owns the mutated state, which performs its half of
+the transaction when the message's effect time arrives.
+
+======================  =====================================  ==========
+kind                    carried by                             effect time
+======================  =====================================  ==========
+``DELIVER``             ``post_send``                          first byte at dst
+``PLACE``               ``post_rdma_write``                    first byte at dst
+``ACK``                 write placement (dst -> writer)        data arrival
+``READ_REQ``            ``post_rdma_read``                     request arrival
+``READ_DATA``           read service (target -> initiator)     first byte back
+======================  =====================================  ==========
+
+Determinism does not come for free once the global event counter is gone:
+two shards cannot agree on "who posted first" at equal times.  Channel
+messages therefore carry a *partition-invariant* total-order key packed
+from their directed link id and a per-link sequence number -- a pure
+function of that link's traffic, identical no matter how ranks are split
+across shards.  The owning engine reserves the key band below
+:data:`APP_BAND` (see :meth:`repro.sim.engine.Engine.reserve_low_keys`),
+so at equal times channel effects always retire before locally allocated
+events, again independent of partitioning.
+
+The conservative-synchronization contract (see :mod:`repro.sim.parallel`)
+is that a message *generated* at simulation time ``g`` has effect no
+earlier than ``g + lookahead(params)``, with one exception: placement
+ACKs, whose effect lags the generating event by only the data's wire
+time.  Those are covered by per-obligation horizons -- the ACK's effect
+time is bounded below by ``place_when + wire_time(nbytes)``, a quantity
+both sides know when the write is posted (fault degradation and stalls
+only push times later; the fault plan validates factors >= 1).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.netsim.params import NetworkParams
+
+# Receiver-half discriminators (ChannelMsg.kind).
+DELIVER = 0    # two-sided send payload           -> dst inbound queue
+PLACE = 1      # RDMA-write placement             -> dst memory / notify
+ACK = 2        # write placed                     -> writer's CQ
+READ_REQ = 3   # RDMA-read request                -> target NIC service
+READ_DATA = 4  # RDMA-read data return            -> initiator's CQ
+
+#: Bits reserved for the per-link sequence number inside a channel key.
+_SEQ_BITS = 34
+#: First engine-allocated sequence number in channel mode: every channel
+#: key (``link_id << _SEQ_BITS | link_seq``) stays strictly below it, so
+#: channel effects win FIFO ties against app-band events.
+APP_BAND = 1 << 62
+_MAX_LINKS = APP_BAND >> _SEQ_BITS
+_MAX_LINK_SEQ = 1 << _SEQ_BITS
+
+
+class ChannelMsg(typing.NamedTuple):
+    """One cross-NIC effect, executed on the destination NIC's shard.
+
+    ``when`` is the effect time; ``key`` the partition-invariant engine
+    tie-break; ``extra`` is kind-specific (sender-side timing the receiver
+    needs for ground-truth transfer records, RDMA context tokens, fault
+    verdict flags).  Everything is picklable: completion contexts (often
+    closures) never travel -- they stay in the posting NIC's token table
+    and only the token crosses shards.
+    """
+
+    when: float
+    key: int
+    kind: int
+    src_node: int
+    src_port: int
+    dst_node: int
+    dst_port: int
+    nbytes: float
+    payload: object
+    extra: object
+
+
+def link_id(
+    src_node: int, src_port: int, dst_node: int, dst_port: int,
+    num_nodes: int, nics_per_node: int,
+) -> int:
+    """Dense index of a directed link (one sequence counter each)."""
+    return (
+        (src_node * nics_per_node + src_port) * num_nodes + dst_node
+    ) * nics_per_node + dst_port
+
+
+def pack_key(link: int, seq: int) -> int:
+    """Engine tie-break key of the ``seq``-th message on link ``link``."""
+    if link >= _MAX_LINKS:  # pragma: no cover - 2^28 directed links
+        raise ValueError("fabric too large for the channel key space")
+    if seq >= _MAX_LINK_SEQ:  # pragma: no cover - 2^34 msgs on one link
+        raise ValueError("per-link sequence space exhausted")
+    return (link << _SEQ_BITS) | seq
+
+
+def lookahead(params: NetworkParams) -> float:
+    """Conservative lower bound on (effect - generation) for channel msgs.
+
+    ``DELIVER``/``PLACE`` take effect at the first byte's arrival, at
+    least one per-message overhead plus one (jitter-reduced) wire latency
+    after the post; ``READ_REQ`` after the fixed request latency;
+    ``READ_DATA`` is generated at request service and obeys the same
+    first-byte bound.  Placement ACKs are excluded -- they are fenced by
+    per-obligation horizons instead (see module docstring).  Fault plans
+    only ever push times later (stalls, stragglers, degradation >= 1x).
+    """
+    min_latency = params.latency * (1.0 - params.latency_jitter_frac)
+    return min(
+        params.per_message_overhead + min_latency,
+        params.rdma_read_request_latency,
+    )
+
+
+class LocalRouter:
+    """Single-store router: every destination NIC lives in this fabric."""
+
+    def __init__(self, fabric) -> None:
+        self.fabric = fabric
+
+    def send(self, msg: ChannelMsg) -> None:
+        self.fabric.channel_inject(msg)
+
+
+class ShardRouter:
+    """Boundary router of one shard: local injection or outbox buffering.
+
+    Messages for NICs this shard owns are injected straight into its
+    engine; messages crossing the cut are buffered and handed to the
+    coordinator at the next synchronization point (the ``ShardLink`` of
+    the sharded engine -- see :mod:`repro.sim.parallel`).
+    """
+
+    def __init__(self, fabric, shard_of: "list[int]", shard_id: int) -> None:
+        self.fabric = fabric
+        self.shard_of = shard_of
+        self.shard_id = shard_id
+        self.outbox: list[ChannelMsg] = []
+        #: Cross-shard messages routed out over the lifetime (diagnostics).
+        self.sent_across = 0
+
+    def send(self, msg: ChannelMsg) -> None:
+        if self.shard_of[msg.dst_node] == self.shard_id:
+            self.fabric.channel_inject(msg)
+        else:
+            self.outbox.append(msg)
+
+    def drain(self) -> list[ChannelMsg]:
+        """Take the buffered cross-shard messages (coordinator side)."""
+        out = self.outbox
+        if out:
+            self.sent_across += len(out)
+            self.outbox = []
+        return out

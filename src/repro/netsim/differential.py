@@ -147,3 +147,88 @@ def compare_runs(
         for name in sorted(set(mf) | set(mp)):
             add(f"metrics.{name}", mf.get(name), mp.get(name))
     return deltas
+
+
+def run_sharded_pair(
+    app: typing.Callable[..., typing.Generator],
+    nprocs: int,
+    shards: int,
+    config: object = None,
+    params: "NetworkParams | None" = None,
+    app_args: tuple = (),
+    seed: int = 0,
+    label: str = "",
+    sync: str = "window",
+    backend: str = "process",
+    strategy: str = "contiguous",
+    record_transfers: bool = False,
+) -> "tuple[RunResult, RunResult]":
+    """Run once single-process and once sharded; both use channel delivery.
+
+    The single-process run is the ground truth the sharded engine owes
+    bit-identical results to (``delivery="channel"`` on both sides -- that
+    is the semantics the sharding refactor is defined against).  Returns
+    ``(single, sharded)``.
+    """
+    from repro.runtime.launcher import run_app
+
+    base = params if params is not None else NetworkParams()
+    chan = dataclasses.replace(base, delivery="channel")
+    single = run_app(
+        app, nprocs, config=config, params=chan,  # type: ignore[arg-type]
+        app_args=app_args, seed=seed, label=label,
+        record_transfers=record_transfers,
+    )
+    sharded = run_app(
+        app, nprocs, config=config, params=chan,  # type: ignore[arg-type]
+        app_args=app_args, seed=seed, label=label,
+        record_transfers=record_transfers,
+        shards=shards, shard_sync=sync, shard_backend=backend,
+        shard_strategy=strategy,
+    )
+    return single, sharded
+
+
+def compare_sharded(single: "RunResult", sharded: "RunResult") -> list[Delta]:
+    """Deltas between a single-process channel run and a sharded run.
+
+    Reuses :func:`compare_runs` -- the ``fast`` side is the single-process
+    run, the ``packet`` side the sharded one -- and adds the merged
+    ground-truth transfer log when both runs recorded it (order inside the
+    log is per-shard append order, so both sides are sorted first).
+    """
+    deltas = compare_runs(single, sharded)
+    log_a = getattr(single.fabric, "transfer_log", None)
+    log_b = getattr(sharded.fabric, "transfer_log", None)
+    if log_a is not None or log_b is not None:
+        a = sorted(log_a) if log_a is not None else None
+        b = sorted(log_b) if log_b is not None else None
+        deltas.append(Delta("transfer_log", a == b, a, b))
+    return deltas
+
+
+def assert_sharded_identical(
+    app: typing.Callable[..., typing.Generator],
+    nprocs: int,
+    shards: int,
+    **kwargs: object,
+) -> list[Delta]:
+    """Run the sharded differential and raise on any inequality.
+
+    The one-call referee used by tests and the CI smoke job: any delta
+    between the sharded run and its single-process ground truth is a
+    correctness bug in the partitioned engine, never acceptable noise.
+    """
+    single, sharded = run_sharded_pair(app, nprocs, shards, **kwargs)  # type: ignore[arg-type]
+    deltas = compare_sharded(single, sharded)
+    bad = [d for d in deltas if not d.equal]
+    if bad:
+        lines = "\n".join(
+            f"  {d.measure}: single={d.fast!r} sharded={d.packet!r}"
+            for d in bad[:10]
+        )
+        raise AssertionError(
+            f"sharded run diverged from single-process ground truth "
+            f"({len(bad)} of {len(deltas)} measures):\n{lines}"
+        )
+    return deltas

@@ -25,11 +25,13 @@ import typing
 
 import numpy as np
 
+from repro.netsim import channel as _ch
 from repro.netsim.params import NetworkParams
 from repro.sim import Engine, Event
 
 if typing.TYPE_CHECKING:
     from repro.faults.inject import FaultInjector
+    from repro.netsim.fabric import Fabric
 
 # Stream-family discriminator for per-link latency-jitter RNGs (mixed into
 # the derived seed so jitter never shares a stream with the fault families
@@ -100,6 +102,7 @@ class Nic:
         seed: int = 0,
         injector: "FaultInjector | None" = None,
         transfer_log: "list[TransferRecord] | None" = None,
+        fabric: "Fabric | None" = None,
     ) -> None:
         self.engine = engine
         self.params = params
@@ -126,6 +129,17 @@ class Nic:
         self._waiters: list[Event] = []
         #: Whether completions ride the burst macro-event fast path.
         self._fast = params.network_path == "fast"
+        #: Channel delivery: all cross-NIC effects go through the fabric's
+        #: router as :class:`~repro.netsim.channel.ChannelMsg` records.
+        self._channel = params.delivery == "channel"
+        #: Owning fabric (routing + key allocation; channel mode only).
+        self._fabric = fabric
+        #: Completion contexts of in-flight RDMA verbs, keyed by token.
+        #: Contexts are host-side objects (often closures); in channel mode
+        #: only the token crosses the wire and the context is resolved here
+        #: when the ACK / read data comes back.
+        self._rdma_ctx: dict[int, object] = {}
+        self._rdma_token = 0
         #: Open burst per stream (TX / RX / CTL), created lazily.
         self._bursts: "list[object | None]" = [None, None, None]
         # Traffic counters (diagnostics / tests).
@@ -292,6 +306,30 @@ class Nic:
             self.cq.append(CompletionEntry(CompletionKind.SEND_DONE, context, nbytes))
             self._kick()
 
+        if self._channel:
+            if self._fast:
+                self._burst_at(_STREAM_TX, tx_end, local_complete)
+            else:
+                self._at(tx_end, local_complete)
+            if verdict is not None and verdict.drop:
+                return
+            first_byte = tx_end - self.params.wire_time(nbytes) + self._latency(dst)
+            self._fabric.channel_send(_ch.ChannelMsg(
+                when=first_byte,
+                key=self._fabric.next_channel_key(
+                    self.node, self.port, dst.node, dst.port),
+                kind=_ch.DELIVER,
+                src_node=self.node, src_port=self.port,
+                dst_node=dst.node, dst_port=dst.port,
+                nbytes=nbytes, payload=payload,
+                extra=(
+                    tx_end,
+                    verdict is not None and verdict.duplicate,
+                    verdict is not None and verdict.reorder,
+                ),
+            ))
+            return
+
         if verdict is not None and verdict.drop:
             # The wire ate the packet: local completion only, no arrival.
             if self._fast:
@@ -341,9 +379,26 @@ class Nic:
         self._check_dst(dst)
         tx_end = self._tx_stream(nbytes)
         first_byte = tx_end - self.params.wire_time(nbytes) + self._latency(dst)
-        arrival = self._rx_stream(dst, first_byte, nbytes)
         self.bytes_sent += nbytes
         self.messages_sent += 1
+
+        if self._channel:
+            token = self._rdma_token
+            self._rdma_token = token + 1
+            self._rdma_ctx[token] = context
+            self._fabric.channel_send(_ch.ChannelMsg(
+                when=first_byte,
+                key=self._fabric.next_channel_key(
+                    self.node, self.port, dst.node, dst.port),
+                kind=_ch.PLACE,
+                src_node=self.node, src_port=self.port,
+                dst_node=dst.node, dst_port=dst.port,
+                nbytes=nbytes, payload=notify_payload,
+                extra=(tx_end, token),
+            ))
+            return
+
+        arrival = self._rx_stream(dst, first_byte, nbytes)
 
         def remote_placed(_ev: Event) -> None:
             dst.bytes_received += nbytes
@@ -386,6 +441,21 @@ class Nic:
         self._check_dst(target)
         request_arrival = self.engine.now + self.params.rdma_read_request_latency
 
+        if self._channel:
+            token = self._rdma_token
+            self._rdma_token = token + 1
+            self._rdma_ctx[token] = context
+            self._fabric.channel_send(_ch.ChannelMsg(
+                when=request_arrival,
+                key=self._fabric.next_channel_key(
+                    self.node, self.port, target.node, target.port),
+                kind=_ch.READ_REQ,
+                src_node=self.node, src_port=self.port,
+                dst_node=target.node, dst_port=target.port,
+                nbytes=nbytes, payload=None, extra=token,
+            ))
+            return
+
         def service_read(_ev: Event) -> None:
             tx_end = target._tx_stream(nbytes)
             target.bytes_sent += nbytes
@@ -414,6 +484,126 @@ class Nic:
         else:
             self._at(request_arrival, service_read)
 
+    # -- channel receiver halves -------------------------------------------
+    def _channel_recv(self, msg: "_ch.ChannelMsg") -> None:
+        """Execute the receiver half of one cross-NIC effect.
+
+        Runs at ``msg.when`` on the engine that owns this NIC, keyed by the
+        message's partition-invariant channel key.  Mirrors exactly what
+        the direct-delivery verbs do to remote state -- RX-port
+        reservation, arrival scheduling, CQ/inbound delivery -- but from
+        the owning side.
+        """
+        kind = msg.kind
+        nbytes = msg.nbytes
+        if kind == _ch.DELIVER:
+            tx_end, duplicate, reorder = typing.cast(tuple, msg.extra)
+            arrival = Nic._rx_stream(self, msg.when, nbytes)
+            if reorder:
+                # Held in the switch, overtaken by packets posted after it.
+                arrival += self._inj.plan.reorder_delay
+            src_node = msg.src_node
+            payload = msg.payload
+
+            def deliver(_ev: Event) -> None:
+                self.inbound.append(InboundPacket(src_node, payload, nbytes))
+                self.bytes_received += nbytes
+                self.messages_received += 1
+                self._kick()
+
+            if self._fast:
+                self._burst_at(_STREAM_RX, arrival, deliver)
+                if duplicate:
+                    self._burst_at(_STREAM_RX, arrival, deliver)
+            else:
+                self._at(arrival, deliver)
+                if duplicate:
+                    self._at(arrival, deliver)
+            self._record_from(msg.src_node, nbytes, tx_end, arrival, "send")
+        elif kind == _ch.PLACE:
+            tx_end, token = typing.cast(tuple, msg.extra)
+            arrival = Nic._rx_stream(self, msg.when, nbytes)
+            src_node = msg.src_node
+            notify = msg.payload
+
+            def remote_placed(_ev: Event) -> None:
+                self.bytes_received += nbytes
+                self.messages_received += 1
+                if notify is not None:
+                    self.inbound.append(InboundPacket(src_node, notify, nbytes))
+                    self._kick()
+
+            if self._fast:
+                self._burst_at(_STREAM_RX, arrival, remote_placed)
+            else:
+                self._at(arrival, remote_placed)
+            # Reliable-connection semantics: the writer completes once the
+            # data is placed.  The ACK's effect time is bounded below by
+            # ``msg.when + wire_time(nbytes)``, which is what lets the
+            # shard coordinator fence it (see repro.sim.parallel).
+            self._fabric.channel_send(_ch.ChannelMsg(
+                when=arrival,
+                key=self._fabric.next_channel_key(
+                    self.node, self.port, msg.src_node, msg.src_port),
+                kind=_ch.ACK,
+                src_node=self.node, src_port=self.port,
+                dst_node=msg.src_node, dst_port=msg.src_port,
+                nbytes=nbytes, payload=None, extra=token,
+            ))
+            self._record_from(msg.src_node, nbytes, tx_end, arrival, "rdma_write")
+        elif kind == _ch.ACK:
+            context = self._rdma_ctx.pop(typing.cast(int, msg.extra))
+            self.cq.append(
+                CompletionEntry(CompletionKind.RDMA_WRITE_DONE, context, nbytes)
+            )
+            self._kick()
+        elif kind == _ch.READ_REQ:
+            tx_end = self._tx_stream(nbytes)
+            self.bytes_sent += nbytes
+            self.messages_sent += 1
+            initiator = self._fabric.nic(msg.src_node, msg.src_port)
+            first_byte = (
+                tx_end - self.params.wire_time(nbytes) + self._latency(initiator)
+            )
+            self._fabric.channel_send(_ch.ChannelMsg(
+                when=first_byte,
+                key=self._fabric.next_channel_key(
+                    self.node, self.port, msg.src_node, msg.src_port),
+                kind=_ch.READ_DATA,
+                src_node=self.node, src_port=self.port,
+                dst_node=msg.src_node, dst_port=msg.src_port,
+                nbytes=nbytes, payload=None, extra=(tx_end, msg.extra),
+            ))
+        else:  # READ_DATA
+            tx_end, token = typing.cast(tuple, msg.extra)
+            arrival = Nic._rx_stream(self, msg.when, nbytes)
+            context = self._rdma_ctx.pop(token)
+
+            def data_arrived(_ev: Event) -> None:
+                self.bytes_received += nbytes
+                self.messages_received += 1
+                self.cq.append(
+                    CompletionEntry(CompletionKind.RDMA_READ_DONE, context, nbytes)
+                )
+                self._kick()
+
+            if self._fast:
+                self._burst_at(_STREAM_RX, arrival, data_arrived)
+            else:
+                self._at(arrival, data_arrived)
+            self._record_from(msg.src_node, nbytes, tx_end, arrival, "rdma_read")
+
+    def _record_from(
+        self, src_node: int, nbytes: float, tx_end: float, arrival: float, kind: str
+    ) -> None:
+        """Receiver-side ground-truth transfer record (channel mode)."""
+        if self._transfer_log is None:
+            return
+        start = tx_end - self.params.wire_time(nbytes) - self.params.per_message_overhead
+        self._transfer_log.append(
+            TransferRecord(src_node, self.node, nbytes, start, arrival, kind)
+        )
+
     def _record(
         self, dst: "Nic", nbytes: float, tx_end: float, arrival: float, kind: str
     ) -> None:
@@ -426,9 +616,11 @@ class Nic:
         )
 
     def _check_dst(self, dst: "Nic") -> None:
-        if dst is self:
+        if dst.node == self.node and dst.port == self.port:
             raise ValueError(f"node {self.node} cannot target its own NIC")
-        if dst.engine is not self.engine:
+        if not self._channel and dst.engine is not self.engine:
+            # Channel mode routes by address (dst may be a NicProxy owned
+            # by another shard); direct mode requires one shared store.
             raise ValueError("cannot communicate across engines")
 
     def __repr__(self) -> str:

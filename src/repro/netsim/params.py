@@ -56,6 +56,15 @@ class NetworkParams:
     #: timestamps, fewer scheduler operations -- see docs/performance.md);
     #: ``"packet"`` schedules every completion individually.
     network_path: str = "fast"
+    #: Cross-NIC delivery semantics: ``"direct"`` lets a sender reserve the
+    #: receiver's RX port at post time (the classic sequential model);
+    #: ``"channel"`` routes every cross-NIC effect through an explicit
+    #: timestamped message so a fabric can be split across shard worker
+    #: processes (see :mod:`repro.netsim.channel` and
+    #: :mod:`repro.sim.parallel`).  Channel runs are deterministic in
+    #: themselves but are *not* bit-identical to direct runs; sharded runs
+    #: are bit-identical to single-process channel runs.
+    delivery: str = "direct"
     #: Fault-injection schedule (see :mod:`repro.faults`).  ``None`` (the
     #: default) keeps every code path bit-identical to a fault-free build;
     #: a :class:`~repro.faults.plan.FaultPlan` arms drop/dup/reorder,
@@ -81,7 +90,7 @@ class NetworkParams:
 
     def __post_init__(self) -> None:
         for field in dataclasses.fields(self):
-            if field.name in ("network_path", "faults"):
+            if field.name in ("network_path", "delivery", "faults"):
                 continue
             value = getattr(self, field.name)
             if value < 0:
@@ -89,6 +98,10 @@ class NetworkParams:
         if self.network_path not in ("fast", "packet"):
             raise ValueError(
                 f"network_path must be 'fast' or 'packet', got {self.network_path!r}"
+            )
+        if self.delivery not in ("direct", "channel"):
+            raise ValueError(
+                f"delivery must be 'direct' or 'channel', got {self.delivery!r}"
             )
         if self.bandwidth <= 0 or self.host_copy_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")

@@ -60,6 +60,10 @@ class RunResult:
         #: Post-mortem snapshot when a watchdog stopped the run early
         #: (None for a run that completed normally).
         self.watchdog: "WatchdogDiagnostic | None" = None
+        #: Per-shard execution statistics (sharded runs only, else None).
+        self.shard_stats: "list[dict] | None" = None
+        #: Synchronization-protocol statistics (sharded runs only).
+        self.sync_stats: "dict | None" = None
 
     def report(self, rank: int = 0) -> OverlapReport:
         """The report of one rank (the paper presents "data for process 0")."""
@@ -95,6 +99,60 @@ def default_xfer_table(params: NetworkParams) -> XferTable:
 _xfer_table_cache: "dict[tuple[float, float, float], XferTable]" = {}
 
 
+def build_rank_stack(
+    engine: Engine,
+    fabric: Fabric,
+    rank: int,
+    nprocs: int,
+    config: MpiConfig,
+    table: XferTable,
+    processor_factory: "typing.Callable | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    collect_trace: bool = False,
+) -> "tuple[Monitor | NullMonitor, Endpoint, RankContext, TraceSink | None]":
+    """Build one simulated rank: monitor, endpoint, context (and sink).
+
+    Shared by :func:`run_app` and the sharded launcher
+    (:mod:`repro.sim.parallel`): a shard worker must assemble each rank
+    *exactly* as the single-process path does, or reports stop being
+    bit-comparable.  Degraded-instrumentation knobs (stamp loss, bounded
+    ring) are derived from the fabric's injector, per rank.
+    """
+    injector = fabric.injector
+    degraded = injector is not None and injector.plan.degrades_instrumentation
+    ring_capacity = injector.plan.ring_capacity if degraded else 0
+    monitor: Monitor | NullMonitor
+    sink: TraceSink | None = None
+    if config.instrument:
+        monitor = Monitor(
+            clock=lambda: engine.now,
+            xfer_table=table,
+            queue_capacity=ring_capacity or config.queue_capacity,
+            bin_edges=config.bin_edges,
+            processor_factory=processor_factory,
+            metrics=metrics,
+            metrics_labels={"rank": str(rank)} if metrics is not None else None,
+            stamp_loss=injector.stamp_loss(rank) if degraded else None,
+            ring_mode=ring_capacity > 0,
+        )
+        if collect_trace:
+            sink = TraceSink()
+            # Subscribe the list's bound append (a C function) rather
+            # than the sink itself: one less Python frame per event on
+            # the stamping hot path.
+            monitor.peruse.subscribe(sink.events.append)
+        # Anchor interval attribution at startup, as the real framework
+        # does inside MPI_Init (this is also where the transfer-time
+        # table would be read from disk).
+        monitor.call_enter("MPI_Init")
+        monitor.call_exit("MPI_Init")
+    else:
+        monitor = NullMonitor()
+    endpoint = Endpoint(engine, fabric, rank, nprocs, config, monitor)
+    context = RankContext(engine, endpoint, monitor)
+    return monitor, endpoint, context, sink
+
+
 def run_app(
     app: AppFn,
     nprocs: int,
@@ -108,6 +166,11 @@ def run_app(
     telemetry: "TelemetryConfig | None" = None,
     metrics: "MetricsRegistry | None" = None,
     watchdog: "WatchdogConfig | None" = None,
+    shards: int | None = None,
+    shard_sync: str = "window",
+    shard_strategy: str = "contiguous",
+    shard_backend: str = "process",
+    shard_partition: "list[list[int]] | None" = None,
 ) -> RunResult:
     """Run ``app(ctx, *app_args)`` on ``nprocs`` simulated ranks.
 
@@ -131,6 +194,18 @@ def run_app(
     """
     if nprocs < 1:
         raise ValueError("need at least one rank")
+    if shards is not None:
+        from repro.sim.parallel import run_app_sharded
+
+        return run_app_sharded(
+            app, nprocs, shards,
+            config=config, params=params, xfer_table=xfer_table,
+            label=label, app_args=app_args, seed=seed,
+            record_transfers=record_transfers,
+            telemetry=telemetry, metrics=metrics, watchdog=watchdog,
+            sync=shard_sync, strategy=shard_strategy,
+            backend=shard_backend, partition=shard_partition,
+        )
     config = config or MpiConfig()
     params = params or NetworkParams()
     table = xfer_table or default_xfer_table(params)
@@ -156,49 +231,22 @@ def run_app(
     injector = fabric.injector
     if injector is not None and metrics is not None:
         injector.attach_metrics(metrics)
-    # Degraded instrumentation (fault plans only): per-rank stamp-loss
-    # streams and/or a bounded ring replacing the drained queue.
-    degraded = injector is not None and injector.plan.degrades_instrumentation
-    ring_capacity = injector.plan.ring_capacity if degraded else 0
     monitors: list[Monitor | NullMonitor] = []
     contexts: list[RankContext] = []
     endpoints: list[Endpoint] = []
     sinks: list[TraceSink | None] = []
     for rank in range(nprocs):
-        monitor: Monitor | NullMonitor
-        sink: TraceSink | None = None
-        if config.instrument:
-            monitor = Monitor(
-                clock=lambda: engine.now,
-                xfer_table=table,
-                queue_capacity=ring_capacity or config.queue_capacity,
-                bin_edges=config.bin_edges,
-                processor_factory=processor_factory,
-                metrics=metrics,
-                metrics_labels={"rank": str(rank)} if metrics is not None else None,
-                stamp_loss=injector.stamp_loss(rank) if degraded else None,
-                ring_mode=ring_capacity > 0,
-            )
-            if telemetry is not None and telemetry.collect_trace:
-                sink = TraceSink()
-                # Subscribe the list's bound append (a C function) rather
-                # than the sink itself: one less Python frame per event on
-                # the stamping hot path.
-                monitor.peruse.subscribe(sink.events.append)
-            # Anchor interval attribution at startup, as the real framework
-            # does inside MPI_Init (this is also where the transfer-time
-            # table would be read from disk).
-            monitor.call_enter("MPI_Init")
-            monitor.call_exit("MPI_Init")
-        else:
-            monitor = NullMonitor()
-        endpoint = Endpoint(engine, fabric, rank, nprocs, config, monitor)
+        monitor, endpoint, context, sink = build_rank_stack(
+            engine, fabric, rank, nprocs, config, table,
+            processor_factory=processor_factory, metrics=metrics,
+            collect_trace=telemetry is not None and telemetry.collect_trace,
+        )
         if metrics is not None and config.resilience is not None:
             endpoint.attach_metrics(metrics, {"rank": str(rank)})
         monitors.append(monitor)
         endpoints.append(endpoint)
         sinks.append(sink)
-        contexts.append(RankContext(engine, endpoint, monitor))
+        contexts.append(context)
 
     finish_times = [0.0] * nprocs
     returns: list[object] = [None] * nprocs

@@ -149,6 +149,9 @@ class Engine:
         self._dead_pending: int = 0
         #: Number of events processed so far (useful for tests/diagnostics).
         self.processed_count: int = 0
+        #: Simulation time when the last deadline-bounded run() stopped
+        #: dispatching (before the clamp to the deadline itself).
+        self.dispatch_tail: float = 0.0
         #: Largest pending-event population ever reached.
         self.heap_high_water: int = 0
         #: Total timeouts withdrawn via :meth:`Timeout.cancel`.
@@ -289,6 +292,44 @@ class Engine:
         self._post_entry(when, seq, ev)
         return ev
 
+    def reserve_low_keys(self, bound: int) -> None:
+        """Reserve sequence numbers below ``bound`` for external injection.
+
+        The engine's own allocator jumps to ``bound``, so every internally
+        posted event sorts *after* any entry inserted via
+        :meth:`post_keyed` with a key below ``bound`` at the same time.
+        The channel-delivery fabric uses this to give cross-NIC messages a
+        partition-invariant total order (see :mod:`repro.netsim.channel`).
+        """
+        if self._seq > bound:
+            raise SimulationError(
+                "reserve_low_keys() must run before any event is posted"
+            )
+        self._seq = bound
+
+    def post_keyed(self, when: float, key: int, value: object = None) -> Event:
+        """Schedule an event at ``when`` with a caller-allocated tie-break.
+
+        Like :meth:`post_at` but the caller supplies the sequence key
+        instead of drawing from the engine's counter, so the position of
+        the event among equal-time entries is a pure function of ``key`` --
+        independent of how many events this engine happened to allocate
+        before.  Keys must be unique; reserving a band with
+        :meth:`reserve_low_keys` keeps them disjoint from internal ones.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"post_keyed({when!r}) is in the past (now={self.now!r})"
+            )
+        ev = Event.__new__(Event)
+        ev.engine = self
+        ev.callbacks = []
+        ev._value = value
+        ev._ok = True
+        ev._defused = False
+        self._post_entry(when, key, ev)
+        return ev
+
     def new_burst(self) -> Burst:
         """Open a :class:`Burst` macro-event for tail-appended sub-events."""
         self.bursts_opened += 1
@@ -412,6 +453,36 @@ class Engine:
             return cal.min_key()[0]  # type: ignore[index]
         return self._heap[0][0] if self._heap else _INF
 
+    def live_peek(self) -> float:
+        """Time of the next *live* entry, or ``inf`` when drained.
+
+        Unlike :attr:`peek`, discards cancelled-but-undiscarded timeouts
+        off the head of the store first, so the reported time is one at
+        which something will actually fire.  Sharded workers
+        (:mod:`repro.sim.parallel`) rely on this: a stale dead-head time
+        would freeze the conservative fence below the shard's own window
+        and stall the whole run.
+        """
+        cal = self._cal
+        if cal is not None:
+            while cal.n:
+                when, seq, ev = cal.pop()
+                if ev.callbacks is None and ev.__class__ is not Burst:
+                    self._dead_pending -= 1
+                    continue
+                cal.push(when, seq, ev)
+                return when
+            return _INF
+        heap = self._heap
+        while heap:
+            ev = heap[0][2]
+            if ev.callbacks is None and ev.__class__ is not Burst:
+                heapq.heappop(heap)
+                self._dead_pending -= 1
+                continue
+            return heap[0][0]
+        return _INF
+
     def _retire_burst(
         self,
         burst: Burst,
@@ -425,8 +496,8 @@ class Engine:
         deadline/stop-event boundary -- the remainder is re-inserted into
         the pending store keyed at the next sub-event, exactly where the
         equivalent individually-posted events would sit.  Returns 0 to
-        continue the run loop, 1 when the deadline was reached (``now`` is
-        already set), 2 when ``stop_event`` fired.
+        continue the run loop (the loop's own head check handles the
+        deadline), 2 when ``stop_event`` fired.
         """
         burst.state = _BURST_RUNNING
         subs = burst.subs
@@ -443,8 +514,10 @@ class Engine:
                     status = 2
                     break
                 if when > deadline:
-                    self.now = deadline
-                    status = 1
+                    # Not the run's deadline exit: other store entries may
+                    # still be due before the deadline.  Re-insert (via the
+                    # finally block) and let the run loop's head check
+                    # decide when the window is really over.
                     break
                 # Yield to any competing pending entry with a smaller key.
                 cal = self._cal
@@ -675,6 +748,7 @@ class Engine:
                                 break
                             mk = cal.min_key()
                             if mk is not None and mk[0] > deadline:
+                                self.dispatch_tail = self.now
                                 self.now = deadline
                                 return None
                         when, _seq, event = cal.pop()
@@ -683,8 +757,6 @@ class Engine:
                             if event.__class__ is Burst:
                                 status = self._retire_burst(
                                     event, stop_event, deadline)
-                                if status == 1:
-                                    return None
                                 if status == 2:
                                     stopped = True
                                     break
@@ -762,6 +834,7 @@ class Engine:
                             stopped = True
                             break
                         if heap[0][0] > deadline:
+                            self.dispatch_tail = self.now
                             self.now = deadline
                             return None
                         if len(heap) == 1:
@@ -773,8 +846,6 @@ class Engine:
                             if event.__class__ is Burst:
                                 status = self._retire_burst(
                                     event, stop_event, deadline)
-                                if status == 1:
-                                    return None
                                 if status == 2:
                                     stopped = True
                                     break
@@ -812,6 +883,11 @@ class Engine:
                 raise typing.cast(BaseException, stop_event.value)
             return stop_event.value
         if deadline != _INF:
+            # Remember where dispatching actually stopped before clamping
+            # to the deadline: a window-bounded driver (repro.sim.parallel)
+            # needs the true tail to finalize at the same instant a drain
+            # run would have.
+            self.dispatch_tail = self.now
             self.now = deadline
         return None
 

@@ -1,0 +1,821 @@
+"""Sharded parallel-DES engine: conservative-lookahead rank partitioning.
+
+One Python process retiring every event caps the rank counts the
+framework can characterize.  This module splits a run across *shards*:
+each shard is a worker process owning a contiguous (or topology-derived)
+set of ranks with its own :class:`~repro.sim.engine.Engine` and
+:class:`~repro.netsim.fabric.Fabric`; cross-shard NIC effects travel as
+explicit :class:`~repro.netsim.channel.ChannelMsg` records through the
+coordinator (the ``ShardLink`` boundary replacing direct NIC-to-NIC
+delivery).
+
+Synchronization is conservative.  Let ``LA = lookahead(params)`` -- the
+minimum wire delay any channel message can have between its generation
+and its effect (per-message overhead plus jitter-reduced latency, or the
+RDMA-read request latency, whichever is smaller).  If every shard has
+executed up to ``T`` and the earliest pending event anywhere is
+``T_min``, then no message generated from here on can take effect before
+``T_min + LA`` -- so every shard may safely run to that *fence*.  Two
+protocols expose this bound:
+
+* ``sync="window"``: global barrier rounds.  Each round computes
+  ``T_min`` over all shards (and in-flight messages), grants every shard
+  a window ``[now, fence)``, collects generated messages, repeats.
+  Because ``T_min`` is the true next event time, idle gaps are skipped in
+  one hop (time windows never creep through empty regions).
+* ``sync="null"``: the same bound, granted asynchronously -- shards are
+  re-armed the moment their fence improves, without waiting for the
+  slowest shard each round (a parent-mediated variant of null-message
+  pacing).  Results are identical; only scheduling differs.
+
+One message class undercuts ``LA``: an RDMA-write placement ACK takes
+effect only ``wire_time(nbytes)`` after the placement event that emits
+it.  Every cross-shard ``PLACE`` therefore registers an *obligation* with
+horizon ``place_when + wire_time(nbytes)`` -- a lower bound on the ACK's
+effect time known when the write is posted -- and the writer's shard
+fence never passes an outstanding horizon.  The obligation retires when
+the ACK routes back (fault degradation/stalls only push arrivals later;
+factors are validated >= 1).
+
+Determinism: a sharded run is bit-identical to a single-process run with
+``delivery="channel"`` on the same seed -- same event times, same report
+bytes -- because (a) all cross-rank interaction flows through channel
+messages whose ``(when, key)`` is a pure per-link function, (b) channel
+keys sort below every engine-allocated key at equal times, and (c)
+same-time app-band events on different ranks touch disjoint state.  The
+differential harness (:func:`repro.netsim.differential.run_sharded_pair`)
+is the referee.
+
+Not supported with ``shards``: telemetry, metrics registries, watchdogs
+(all assume one engine) and the ARMCI runtime (shared region directory).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import time
+import typing
+
+from repro.netsim import channel as _ch
+from repro.netsim.params import NetworkParams
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.config import MpiConfig
+    from repro.runtime.launcher import RunResult
+
+_INF = float("inf")
+
+
+class ShardError(RuntimeError):
+    """Sharded-run failure: worker crash, protocol violation, or stall."""
+
+
+# -- partitioning ----------------------------------------------------------
+
+def partition_ranks(
+    nprocs: int,
+    shards: int,
+    strategy: str = "contiguous",
+    edges: "typing.Iterable[tuple] | None" = None,
+) -> list[list[int]]:
+    """Split ``range(nprocs)`` into at most ``shards`` rank sets.
+
+    ``"contiguous"`` cuts rank order into near-equal blocks (sizes differ
+    by at most one) -- the right default for NAS kernels, whose heaviest
+    traffic is nearest-neighbor in rank order.  ``"topology"`` takes
+    ``edges`` -- ``(a, b)`` or ``(a, b, weight)`` tuples describing the
+    application's communication graph -- orders ranks by a
+    heaviest-neighbor-first traversal, and cuts *that* order into blocks,
+    keeping tightly coupled ranks co-resident.  More shards than ranks
+    collapses to one rank per shard.  Every shard list is ascending (rank
+    creation order inside a shard must match the single-process run).
+    """
+    if nprocs < 1:
+        raise ValueError("need at least one rank")
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    shards = min(shards, nprocs)
+    if strategy == "contiguous":
+        order = list(range(nprocs))
+    elif strategy == "topology":
+        order = _topology_order(nprocs, edges or ())
+    else:
+        raise ValueError(
+            f"unknown partition strategy {strategy!r} "
+            "(expected 'contiguous' or 'topology')"
+        )
+    base, extra = divmod(nprocs, shards)
+    out: list[list[int]] = []
+    start = 0
+    for s in range(shards):
+        n = base + (1 if s < extra else 0)
+        out.append(sorted(order[start:start + n]))
+        start += n
+    return out
+
+
+def _topology_order(nprocs: int, edges: typing.Iterable[tuple]) -> list[int]:
+    """Rank order by heaviest-neighbor-first traversal of the comm graph."""
+    weight: dict[int, dict[int, float]] = {}
+    for edge in edges:
+        try:
+            a, b = int(edge[0]), int(edge[1])
+            w = float(edge[2]) if len(edge) > 2 else 1.0
+        except (IndexError, TypeError, ValueError):
+            raise ValueError(f"bad edge {edge!r}") from None
+        if not (0 <= a < nprocs and 0 <= b < nprocs) or a == b:
+            raise ValueError(f"bad edge {edge!r}")
+        weight.setdefault(a, {})[b] = weight.setdefault(a, {}).get(b, 0.0) + w
+        weight.setdefault(b, {})[a] = weight.setdefault(b, {}).get(a, 0.0) + w
+    order: list[int] = []
+    seen = [False] * nprocs
+    for root in range(nprocs):
+        if seen[root]:
+            continue
+        stack = [root]
+        seen[root] = True
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            neigh = [
+                n for n in weight.get(node, ())
+                if not seen[n]
+            ]
+            # Heaviest edge visited first (popped last -> reverse sort);
+            # ties break on rank index for determinism.
+            neigh.sort(key=lambda n: (weight[node][n], -n))
+            for n in neigh:
+                seen[n] = True
+            stack.extend(neigh)
+    return order
+
+
+def _validate_partition(partition: list[list[int]], nprocs: int) -> None:
+    seen: set[int] = set()
+    for ranks in partition:
+        if not ranks:
+            raise ValueError("empty shard in partition")
+        for r in ranks:
+            if not 0 <= r < nprocs or r in seen:
+                raise ValueError(f"rank {r} missing, duplicated, or out of range")
+            seen.add(r)
+    if len(seen) != nprocs:
+        raise ValueError("partition does not cover every rank")
+
+
+# -- worker ----------------------------------------------------------------
+
+@dataclasses.dataclass
+class _ShardTask:
+    """Everything one worker needs to build its slice of the job."""
+
+    shard_id: int
+    ranks: list[int]
+    shard_of: list[int]
+    app: typing.Callable
+    nprocs: int
+    config: "MpiConfig"
+    params: NetworkParams
+    xfer_table: object
+    label: str
+    app_args: tuple
+    seed: int
+    record_transfers: bool
+
+
+class _AdvanceReply(typing.NamedTuple):
+    """One shard's answer to an ``advance`` grant."""
+
+    next_event: float
+    msgs: list
+    events: int
+    busy: float
+    #: Time of this shard's last dispatched event so far (finalize anchor).
+    tail: float
+
+
+class _ShardResult(typing.NamedTuple):
+    """Final per-shard payload after global termination."""
+
+    shard_id: int
+    ranks: list
+    reports: dict
+    returns: dict
+    finish_times: dict
+    compute_logs: dict
+    transfer_log: "list | None"
+    bytes_on_wire: float
+    events: int
+    busy: float
+    msgs_across: int
+
+
+class ShardWorker:
+    """One shard: engine + fabric + the rank stacks it owns.
+
+    Driven by a coordinator through :meth:`advance` grants; never runs
+    past a fence it was not granted.  Usable in-process (``backend=
+    "inline"``) or inside a forked worker (``backend="process"``).
+    """
+
+    def __init__(self, task: _ShardTask) -> None:
+        from repro.core.monitor import Monitor
+        from repro.runtime.launcher import build_rank_stack
+        from repro.netsim.fabric import Fabric
+        from repro.sim import Engine
+
+        self.task = task
+        self._monitor_cls = Monitor
+        self.engine = engine = Engine()
+        self.fabric = fabric = Fabric(
+            engine, task.params, task.nprocs, task.config.nics_per_node,
+            seed=task.seed, record_transfers=task.record_transfers,
+            owned_nodes=task.ranks, shard_of=task.shard_of,
+            shard_id=task.shard_id,
+        )
+        self.monitors: dict[int, object] = {}
+        self.contexts: dict[int, object] = {}
+        self.finish_times: dict[int, float] = {r: 0.0 for r in task.ranks}
+        self.returns: dict[int, object] = {r: None for r in task.ranks}
+        self.procs: dict[int, object] = {}
+        self.busy = 0.0
+        self.tail = 0.0
+        for rank in task.ranks:
+            monitor, _endpoint, context, _sink = build_rank_stack(
+                engine, fabric, rank, task.nprocs, task.config,
+                task.xfer_table,
+            )
+            self.monitors[rank] = monitor
+            self.contexts[rank] = context
+
+        def rank_main(rank: int) -> typing.Generator:
+            ctx = self.contexts[rank]
+            result = yield from task.app(ctx, *task.app_args)
+            yield from ctx.comm.finalize()
+            self.finish_times[rank] = engine.now
+            self.returns[rank] = result
+            return result
+
+        for rank in task.ranks:
+            self.procs[rank] = engine.process(rank_main(rank))
+
+    def next_event(self) -> float:
+        """Earliest *live* pending event time (``inf`` when drained)."""
+        return self.engine.live_peek()
+
+    def advance(self, fence: float, msgs: list) -> _AdvanceReply:
+        """Inject ``msgs``, run strictly below ``fence``, report back."""
+        t0 = time.process_time()
+        engine = self.engine
+        fabric = self.fabric
+        for msg in msgs:
+            if msg.when < engine.now:  # pragma: no cover - invariant guard
+                raise ShardError(
+                    f"conservative fence violated: message at t={msg.when} "
+                    f"delivered behind the shard clock t={engine.now}"
+                )
+            fabric.channel_inject(msg)
+        until = math.nextafter(fence, -_INF)
+        if until > engine.now:
+            before = engine.processed_count
+            engine.run(until=until)
+            if engine.processed_count > before:
+                self.tail = engine.dispatch_tail
+        self.busy += time.process_time() - t0
+        return _AdvanceReply(
+            next_event=self.next_event(),
+            msgs=fabric.router.drain(),
+            events=engine.processed_count,
+            busy=self.busy,
+            tail=self.tail,
+        )
+
+    def finish(self, final_time: float) -> _ShardResult:
+        """Finalize monitors into reports; detect ranks that never ended.
+
+        ``final_time`` is the global last-event time: a drain run's clock
+        stops there, so monitors must read it at finalize for sharded
+        reports to be bit-identical (each worker's own clock sits at its
+        last fence, past its last event).
+        """
+        self.engine.now = final_time
+        task = self.task
+        stuck = sum(1 for p in self.procs.values() if p.is_alive)
+        if stuck:
+            raise RuntimeError(
+                f"deadlock: {stuck} rank(s) never finished "
+                "(blocked on communication that cannot arrive)"
+            )
+        reports = {}
+        for rank, monitor in self.monitors.items():
+            if isinstance(monitor, self._monitor_cls):
+                reports[rank] = monitor.finalize(rank=rank, label=task.label)
+            else:
+                reports[rank] = None
+        router = self.fabric.router
+        return _ShardResult(
+            shard_id=task.shard_id,
+            ranks=list(task.ranks),
+            reports=reports,
+            returns=dict(self.returns),
+            finish_times=dict(self.finish_times),
+            compute_logs={r: self.contexts[r].compute_log for r in task.ranks},
+            transfer_log=self.fabric.transfer_log,
+            bytes_on_wire=self.fabric.total_bytes_on_wire(),
+            events=self.engine.processed_count,
+            busy=self.busy,
+            msgs_across=getattr(router, "sent_across", 0),
+        )
+
+
+# -- transports ------------------------------------------------------------
+
+class _InlineHandle:
+    """Shard driven in the coordinator's own process (tests, debugging)."""
+
+    def __init__(self, task: _ShardTask) -> None:
+        self.worker = ShardWorker(task)
+        self._reply: _AdvanceReply | None = None
+
+    def begin(self) -> float:
+        return self.worker.next_event()
+
+    def advance_async(self, fence: float, msgs: list) -> None:
+        self._reply = self.worker.advance(fence, msgs)
+
+    def collect(self) -> _AdvanceReply:
+        reply = self._reply
+        assert reply is not None
+        self._reply = None
+        return reply
+
+    def finish(self, final_time: float) -> _ShardResult:
+        return self.worker.finish(final_time)
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, task: _ShardTask) -> None:
+    """Worker-process loop: build the shard, serve coordinator commands."""
+    try:
+        worker = ShardWorker(task)
+        conn.send(("ready", worker.next_event()))
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            if op == "advance":
+                conn.send(("reply", worker.advance(cmd[1], cmd[2])))
+            elif op == "finish":
+                conn.send(("result", worker.finish(cmd[1])))
+                return
+            else:  # "abort"
+                return
+    except BaseException:
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    """Fork where available (no pickling of app/config), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class _ProcHandle:
+    """Shard living in a worker process, driven over a pipe."""
+
+    def __init__(self, ctx, task: _ShardTask) -> None:
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(
+            target=_worker_main, args=(child, task), daemon=True
+        )
+        self.proc.start()
+        child.close()
+
+    def begin(self) -> float:
+        return self._expect("ready")
+
+    def advance_async(self, fence: float, msgs: list) -> None:
+        self.conn.send(("advance", fence, msgs))
+
+    def collect(self) -> _AdvanceReply:
+        return self._expect("reply")
+
+    def finish(self, final_time: float) -> _ShardResult:
+        self.conn.send(("finish", final_time))
+        return self._expect("result")
+
+    def _expect(self, tag: str):
+        try:
+            msg = self.conn.recv()
+        except EOFError:
+            raise ShardError(
+                f"shard worker pid={self.proc.pid} died without a reply"
+            ) from None
+        if msg[0] == "error":
+            raise ShardError(f"shard worker failed:\n{msg[1]}")
+        if msg[0] != tag:
+            raise ShardError(f"protocol error: expected {tag!r}, got {msg[0]!r}")
+        return msg[1]
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("abort",))
+        except (OSError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():  # pragma: no cover - crash cleanup
+            self.proc.terminate()
+            self.proc.join()
+
+
+# -- coordinator -----------------------------------------------------------
+
+class _Coordinator:
+    """Conservative-fence bookkeeping shared by both sync protocols."""
+
+    def __init__(self, handles: list, shard_of: list[int],
+                 params: NetworkParams, la: float) -> None:
+        self.handles = handles
+        self.shard_of = shard_of
+        self.params = params
+        self.la = la
+        n = len(handles)
+        self.next_event = [h.begin() for h in handles]
+        self.inbox: list[list] = [[] for _ in range(n)]
+        self.fences = [0.0] * n
+        #: Outstanding placement-ACK obligations:
+        #: (writer_node, writer_port, token) -> (creditor_shard, horizon).
+        self.obligations: dict[tuple, tuple[int, float]] = {}
+        self.rounds = 0
+        self.messages = 0
+        #: Global last-event time seen so far (the finalize anchor).
+        self.tail = 0.0
+
+    def route(self, msg) -> None:
+        self.messages += 1
+        self.inbox[self.shard_of[msg.dst_node]].append(msg)
+        kind = msg.kind
+        if kind == _ch.PLACE:
+            key = (msg.src_node, msg.src_port, msg.extra[1])
+            horizon = msg.when + self.params.wire_time(msg.nbytes)
+            self.obligations[key] = (self.shard_of[msg.src_node], horizon)
+        elif kind == _ch.ACK:
+            key = (msg.dst_node, msg.dst_port, msg.extra)
+            if self.obligations.pop(key, None) is None:
+                raise ShardError(f"unmatched placement ACK {key!r}")
+
+    def horizon_min(self) -> float:
+        """Global floor: no shard may pass this until work drains."""
+        cand = min(self.next_event)
+        for box in self.inbox:
+            for msg in box:
+                if msg.when < cand:
+                    cand = msg.when
+        return cand
+
+    def fences_now(self) -> list[float]:
+        """Per-shard CMB fences from the current conservative bounds.
+
+        Static bound ``s[j]``: the earliest *known* work for shard ``j``
+        -- its next pending event, undelivered inbox messages, and
+        in-flight placement-ACK horizons (the one message class whose
+        effect time is not yet in any queue).  A shard with ``s[j] = inf``
+        is not done, though: its ranks may be blocked in a receive, to be
+        woken by a message another shard has yet to generate.  Following
+        those chains gives the fixpoint
+
+            b[j] = min(s[j], min_{k != j} b[k] + LA)
+
+        which closes to ``min(s[j], (min_{k != j} s[k]) + LA)`` because
+        every extra hop only adds lookahead.  The fence for shard ``i`` is
+        then ``min_{j != i} b[j] + LA`` -- a lagging shard holds everyone
+        else to its own bound plus one hop, so released backlogs can never
+        generate effects behind a receiver's fence -- capped by ``i``'s
+        own outstanding ACK horizons (an in-flight ACK may take effect as
+        little as ``wire_time`` after its placement, undercutting the
+        lookahead).
+        """
+        n = len(self.handles)
+        la = self.la
+        s = list(self.next_event)
+        for j, box in enumerate(self.inbox):
+            for msg in box:
+                if msg.when < s[j]:
+                    s[j] = msg.when
+        for creditor, horizon in self.obligations.values():
+            if horizon < s[creditor]:
+                s[creditor] = horizon
+        b = [
+            min(
+                s[j],
+                min(
+                    (s[k] for k in range(n) if k != j), default=_INF
+                ) + la,
+            )
+            for j in range(n)
+        ]
+        fences = []
+        for i in range(n):
+            f = min((b[j] for j in range(n) if j != i), default=_INF) + la
+            for creditor, horizon in self.obligations.values():
+                if creditor == i and horizon < f:
+                    f = horizon
+            fences.append(f)
+        return fences
+
+    def absorb(self, shard: int, reply: _AdvanceReply) -> None:
+        self.next_event[shard] = reply.next_event
+        if reply.tail > self.tail:
+            self.tail = reply.tail
+        for msg in reply.msgs:
+            self.route(msg)
+
+    def grant(self, shard: int, fence: float) -> None:
+        msgs = self.inbox[shard]
+        self.inbox[shard] = []
+        # Keep the conservative bound valid while the shard is busy: its
+        # earliest activity is no earlier than its known next event or
+        # anything just delivered to it.
+        for msg in msgs:
+            if msg.when < self.next_event[shard]:
+                self.next_event[shard] = msg.when
+        self.fences[shard] = fence
+        self.handles[shard].advance_async(fence, msgs)
+
+    def done(self) -> bool:
+        return (
+            self.horizon_min() == _INF and not self.obligations
+        )
+
+
+def _coordinate_window(co: _Coordinator) -> None:
+    """Global barrier rounds: grant every eligible shard, collect all."""
+    n = len(co.handles)
+    while not co.done():
+        if co.horizon_min() == _INF:
+            raise ShardError(
+                "sync wedged: obligations outstanding with no pending events"
+            )
+        selected = []
+        safe = co.fences_now()
+        for i in range(n):
+            fence = safe[i]
+            if co.inbox[i] or fence > co.fences[i]:
+                selected.append(i)
+                co.grant(i, max(fence, co.fences[i]))
+        if not selected:
+            raise ShardError("sync stalled: no shard can advance")
+        for i in selected:
+            co.absorb(i, co.handles[i].collect())
+        co.rounds += 1
+
+
+def _coordinate_null(co: _Coordinator, conns: list) -> None:
+    """Asynchronous pacing: re-arm each shard as soon as its fence moves.
+
+    The fence bound is the same as the window protocol's; what changes is
+    that a shard with a bigger safe window keeps running while slower
+    shards catch up, instead of everyone pausing at a global barrier --
+    the coordinator plays the role null messages play in CMB-style
+    distributed simulations.
+    """
+    from multiprocessing.connection import wait as mp_wait
+
+    n = len(co.handles)
+    busy: set[int] = set()
+    while True:
+        granted = 0
+        cand = co.horizon_min()
+        if cand == _INF and not busy:
+            if not co.obligations:
+                return
+            raise ShardError(
+                "sync wedged: obligations outstanding with no pending events"
+            )
+        if cand != _INF:
+            safe = co.fences_now()
+            for i in range(n):
+                if i in busy:
+                    continue
+                fence = safe[i]
+                if co.inbox[i] or fence > co.fences[i]:
+                    co.grant(i, max(fence, co.fences[i]))
+                    busy.add(i)
+                    granted += 1
+        if not busy:
+            if granted == 0:
+                raise ShardError("sync stalled: no shard can advance")
+            continue
+        ready = mp_wait([conns[i] for i in busy])
+        for conn in ready:
+            shard = conns.index(conn)
+            co.absorb(shard, co.handles[shard].collect())
+            busy.discard(shard)
+        co.rounds += 1
+
+
+# -- launcher --------------------------------------------------------------
+
+class ShardedFabricView:
+    """What remains of "the fabric" after workers exit: global facts.
+
+    Per-NIC state (port clocks, queues) lived and died in the shard
+    workers; sums and the merged ground-truth transfer log survive.
+    """
+
+    def __init__(self, params: NetworkParams, num_nodes: int,
+                 nics_per_node: int, transfer_log: "list | None",
+                 bytes_on_wire: float) -> None:
+        self.params = params
+        self.num_nodes = num_nodes
+        self.nics_per_node = nics_per_node
+        #: Merged transfer records, sorted by interval (the per-shard
+        #: append orders are not comparable across workers).
+        self.transfer_log = transfer_log
+        self.injector = None
+        self._bytes = bytes_on_wire
+
+    def total_bytes_on_wire(self) -> float:
+        return self._bytes
+
+    def nic(self, node: int, port: int = 0):
+        raise ShardError(
+            "per-NIC state is not available after a sharded run "
+            "(it lived in the shard workers)"
+        )
+
+    nics_of = nic
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedFabricView {self.num_nodes} nodes x "
+            f"{self.nics_per_node} NICs>"
+        )
+
+
+def run_app_sharded(
+    app: typing.Callable,
+    nprocs: int,
+    shards: int,
+    config: "MpiConfig | None" = None,
+    params: "NetworkParams | None" = None,
+    xfer_table: object = None,
+    label: str = "",
+    app_args: tuple = (),
+    seed: int = 0,
+    record_transfers: bool = False,
+    telemetry: object = None,
+    metrics: object = None,
+    watchdog: object = None,
+    sync: str = "window",
+    strategy: str = "contiguous",
+    backend: str = "process",
+    partition: "list[list[int]] | None" = None,
+    edges: "typing.Iterable[tuple] | None" = None,
+) -> "RunResult":
+    """Run ``app`` on ``nprocs`` ranks split across ``shards`` workers.
+
+    The sharded twin of :func:`repro.runtime.launcher.run_app` (which
+    forwards here when called with ``shards=N``).  ``params.delivery`` is
+    forced to ``"channel"``; results are bit-identical to a single-process
+    channel run of the same seed.  ``backend="inline"`` keeps every shard
+    in this process (deterministic and fast to spawn -- the default for
+    tests), ``"process"`` forks one worker per shard.  See the module
+    docstring for the ``sync`` protocols.
+    """
+    from repro.mpisim.config import MpiConfig
+    from repro.runtime.launcher import RunResult, default_xfer_table
+
+    if nprocs < 1:
+        raise ValueError("need at least one rank")
+    for name, value in (("telemetry", telemetry), ("metrics", metrics),
+                        ("watchdog", watchdog)):
+        if value is not None:
+            raise ValueError(
+                f"{name} is not supported with shards (it assumes one "
+                "engine); run single-process or drop the option"
+            )
+    if sync not in ("window", "null"):
+        raise ValueError(f"sync must be 'window' or 'null', got {sync!r}")
+    if backend not in ("process", "inline"):
+        raise ValueError(
+            f"backend must be 'process' or 'inline', got {backend!r}"
+        )
+    config = config or MpiConfig()
+    base = params or NetworkParams()
+    params = dataclasses.replace(base, delivery="channel")
+    la = _ch.lookahead(params)
+    if la <= 0.0:
+        raise ValueError(
+            "sharded simulation needs positive lookahead: set nonzero "
+            "per_message_overhead+latency and rdma_read_request_latency"
+        )
+    if partition is None:
+        partition = partition_ranks(nprocs, shards, strategy, edges)
+    else:
+        partition = [sorted(ranks) for ranks in partition]
+    _validate_partition(partition, nprocs)
+    nshards = len(partition)
+    shard_of = [0] * nprocs
+    for s, ranks in enumerate(partition):
+        for r in ranks:
+            shard_of[r] = s
+    table = xfer_table or default_xfer_table(params)
+    tasks = [
+        _ShardTask(
+            shard_id=s, ranks=ranks, shard_of=shard_of, app=app,
+            nprocs=nprocs, config=config, params=params, xfer_table=table,
+            label=label, app_args=app_args, seed=seed,
+            record_transfers=record_transfers,
+        )
+        for s, ranks in enumerate(partition)
+    ]
+
+    handles: list = []
+    results: list[_ShardResult] = []
+    t0 = time.perf_counter()
+    try:
+        if backend == "inline":
+            handles = [_InlineHandle(task) for task in tasks]
+        else:
+            ctx = _mp_context()
+            handles = [_ProcHandle(ctx, task) for task in tasks]
+        co = _Coordinator(handles, shard_of, params, la)
+        if sync == "null" and backend == "process":
+            _coordinate_null(co, [h.conn for h in handles])
+        else:
+            # The inline backend steps shards sequentially, so barrier
+            # rounds and asynchronous pacing coincide.
+            _coordinate_window(co)
+        results = [h.finish(co.tail) for h in handles]
+    finally:
+        for h in handles:
+            h.close()
+    host_elapsed = time.perf_counter() - t0
+
+    reports: list = [None] * nprocs
+    returns: list = [None] * nprocs
+    finish_times = [0.0] * nprocs
+    compute_logs: list = [[] for _ in range(nprocs)]
+    transfer_log: "list | None" = [] if record_transfers else None
+    shard_stats = []
+    for res in results:
+        for rank in res.ranks:
+            reports[rank] = res.reports[rank]
+            returns[rank] = res.returns[rank]
+            finish_times[rank] = res.finish_times[rank]
+            compute_logs[rank] = res.compute_logs[rank]
+        if transfer_log is not None and res.transfer_log is not None:
+            transfer_log.extend(res.transfer_log)
+        shard_stats.append({
+            "shard": res.shard_id,
+            "ranks": res.ranks,
+            "events": res.events,
+            "busy_s": res.busy,
+            "msgs_across": res.msgs_across,
+        })
+    if transfer_log is not None:
+        transfer_log.sort(key=lambda t: (t.start, t.end, t.src, t.dst,
+                                         t.kind, t.nbytes))
+    view = ShardedFabricView(
+        params, nprocs, config.nics_per_node, transfer_log,
+        sum(res.bytes_on_wire for res in results),
+    )
+    result = RunResult(
+        reports=reports,
+        returns=returns,
+        rank_finish_times=finish_times,
+        elapsed=max(finish_times),
+        config=config,
+        fabric=view,  # type: ignore[arg-type]
+    )
+    result.compute_logs = compute_logs
+    result.shard_stats = shard_stats
+    result.sync_stats = {
+        "mode": sync,
+        "backend": backend,
+        "shards": nshards,
+        "lookahead": la,
+        "rounds": co.rounds,
+        "messages": co.messages,
+        "host_elapsed_s": host_elapsed,
+        "events": sum(res.events for res in results),
+        "busy_s": [res.busy for res in results],
+    }
+    return result

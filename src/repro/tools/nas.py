@@ -38,6 +38,8 @@ def _run_cell(
     emit_metrics: bool = False,
     faults: "str | None" = None,
     fault_seed: int = 0,
+    shards: "int | None" = None,
+    shard_sync: str = "window",
 ) -> dict:
     """Worker: one (benchmark, class, np) cell; returns a plain-data payload.
 
@@ -80,6 +82,12 @@ def _run_cell(
 
     label = f"{benchmark}.{klass}.{nprocs}"
     if benchmark == "mg":
+        if shards is not None:
+            raise ValueError(
+                "--shards is not supported for mg: the ARMCI runtime keeps "
+                "a cross-rank shared region directory that cannot be "
+                "partitioned (see docs/performance.md)"
+            )
         result = run_armci_app(
             mg_app, nprocs, config=ArmciConfig(), params=params, label=label,
             app_args=(klass, niter, None, not nonblocking),
@@ -108,9 +116,15 @@ def _run_cell(
             app_args = (klass, None, 1e-3)
         else:
             app_args = (klass, niter, None)
+        if shards is not None and (registry is not None or watchdog is not None):
+            raise ValueError(
+                "--shards cannot be combined with --metrics-dir or --faults "
+                "watchdogs: both observe one engine (see docs/performance.md)"
+            )
         result = run_app(app, nprocs, config=config, params=params, label=label,
                          app_args=app_args, metrics=registry,
-                         watchdog=watchdog)
+                         watchdog=watchdog, shards=shards,
+                         shard_sync=shard_sync)
 
     payload = {
         "label": label,
@@ -205,6 +219,16 @@ def make_parser() -> argparse.ArgumentParser:
                         help="publish live sweep status here and write one "
                         "OpenMetrics file + JSON metrics snapshot per cell "
                         "(tail with `python -m repro.tools.watch`)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="run each cell on the sharded parallel-DES "
+                        "engine with this many worker processes (not "
+                        "available for mg/ARMCI, --metrics-dir, or fault "
+                        "watchdogs; reports are bit-identical to the "
+                        "single-process run)")
+    parser.add_argument("--shard-sync", choices=["window", "null"],
+                        default="window",
+                        help="shard synchronization protocol (default: "
+                        "window barriers; null = asynchronous pacing)")
     parser.add_argument("--live", action="store_true",
                         help="render the sweep dashboard in-place on stderr "
                         "while cells run")
@@ -213,6 +237,17 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+    if args.shards is not None:
+        if args.shards < 1:
+            make_parser().error("--shards must be >= 1")
+        if args.benchmark == "mg":
+            make_parser().error(
+                "--shards is not supported for mg: the ARMCI runtime keeps "
+                "a cross-rank shared region directory that cannot be "
+                "partitioned")
+        if args.metrics_dir is not None or args.faults is not None:
+            make_parser().error(
+                "--shards cannot be combined with --metrics-dir or --faults")
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None
     if args.metrics_dir or args.live:
@@ -227,7 +262,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         Task(_run_cell, (args.benchmark, args.klass, nprocs, args.niter,
                          args.library, args.modified, args.nonblocking,
                          args.metrics_dir is not None,
-                         args.faults, args.fault_seed))
+                         args.faults, args.fault_seed,
+                         args.shards, args.shard_sync))
         for nprocs in args.nprocs
     ]
     payloads = run_tasks(tasks, jobs=args.jobs, cache=cache, progress=progress,

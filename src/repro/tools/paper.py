@@ -52,10 +52,16 @@ def _micro_fig(fig: str, pattern: str, nbytes: float, leave_pinned: bool,
     return render_micro_series(points, side, f"{fig} ({side}, {pattern})")
 
 
-def build_sections(quick: bool) -> "dict[str, typing.Callable[[], str]]":
+def build_sections(
+    quick: bool, shards: int | None = None
+) -> "dict[str, typing.Callable[[], str]]":
     iters = 10 if quick else 40
     niter = 1 if quick else 2
     klasses = ["S", "A"] if quick else ["S", "W", "A"]
+    #: Extra kwargs for the MPI NAS characterization figures; ``--shards``
+    #: routes those cells through the sharded engine (bit-identical
+    #: reports, so figure text is unchanged -- this is a wall-clock knob).
+    nas_kw: dict = {} if shards is None else {"shards": shards}
 
     return {
         "fig03": lambda: _micro_fig("Fig 3: eager 10KB", "isend_irecv",
@@ -73,16 +79,16 @@ def build_sections(quick: bool) -> "dict[str, typing.Callable[[], str]]":
         "fig09": lambda: _micro_fig("Fig 9: 1MB direct", "isend_irecv",
                                     MB, True, "sender", LONG_SWEEP, iters),
         "fig10": lambda: render_nas_char(
-            characterize_matrix("bt", klasses, [4, 9], niter=niter),
+            characterize_matrix("bt", klasses, [4, 9], niter=niter, **nas_kw),
             "Fig 10: NAS BT / Open MPI"),
         "fig11": lambda: render_nas_char(
-            characterize_matrix("cg", klasses, [4, 8], niter=niter),
+            characterize_matrix("cg", klasses, [4, 8], niter=niter, **nas_kw),
             "Fig 11: NAS CG / Open MPI"),
         "fig12": lambda: render_nas_char(
-            characterize_matrix("lu", klasses, [4, 8], niter=niter),
+            characterize_matrix("lu", klasses, [4, 8], niter=niter, **nas_kw),
             "Fig 12: NAS LU / MVAPICH2"),
         "fig13": lambda: render_nas_char(
-            characterize_matrix("ft", klasses, [4, 8], niter=niter),
+            characterize_matrix("ft", klasses, [4, 8], niter=niter, **nas_kw),
             "Fig 13: NAS FT / MVAPICH2"),
         "fig14_18": lambda: render_sp_tuning(
             [sp_tuning("A", n, niter=niter) for n in (4, 9)], "section",
@@ -106,9 +112,9 @@ def build_sections(quick: bool) -> "dict[str, typing.Callable[[], str]]":
     }
 
 
-def _render_section(key: str, quick: bool) -> str:
+def _render_section(key: str, quick: bool, shards: int | None = None) -> str:
     """Worker: build one figure's text block (module-level: picklable)."""
-    return build_sections(quick)[key]()
+    return build_sections(quick, shards)[key]()
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -136,12 +142,20 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--live", action="store_true",
                         help="render the sweep dashboard in-place on stderr "
                         "while figures run")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="run the MPI NAS characterization cells on the "
+                        "sharded parallel-DES engine with this many worker "
+                        "processes (reports are bit-identical; see "
+                        "docs/performance.md)")
     return parser
 
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
-    sections = build_sections(args.quick)
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be >= 1")
+        return 2
+    sections = build_sections(args.quick, args.shards)
     if args.only:
         wanted = {k.strip() for k in args.only.split(",")}
         unknown = wanted - set(sections)
@@ -173,7 +187,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             on_update = LiveRenderer().update
         progress = SweepProgress(args.metrics_dir, label="paper",
                                  on_update=on_update)
-    tasks = [Task(_render_section, (key, args.quick)) for key in keys]
+    tasks = [Task(_render_section, (key, args.quick, args.shards))
+             for key in keys]
     texts = run_tasks(tasks, jobs=args.jobs, cache=cache, progress=progress)
     for key, text in zip(keys, texts):
         blocks.append(f"\n## {key}\n\n```\n{text}\n```")

@@ -57,6 +57,16 @@ def make_parser() -> argparse.ArgumentParser:
                         help="largest message size in bytes")
     parser.add_argument("--reps", type=int, default=4,
                         help="ping-pong repetitions per size")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="with --compare: referee the sharded "
+                        "parallel-DES engine instead -- run the workload "
+                        "once single-process and once with this many "
+                        "shards (channel delivery on both sides) and "
+                        "print the per-measure equality report")
+    parser.add_argument("--shard-sync", choices=("window", "null"),
+                        default="window",
+                        help="shard synchronization protocol for "
+                        "--compare --shards")
     return parser
 
 
@@ -78,34 +88,58 @@ def _compare(args: argparse.Namespace) -> int:
 
     host: dict[str, float] = {}
     t0 = time.perf_counter()
-    fast, packet, mfast, mpacket = run_both(
-        app, args.nprocs, app_args=app_args,
-        label=f"{args.benchmark}.{args.klass}.{args.nprocs}",
-    )
-    host["both"] = time.perf_counter() - t0
-    deltas = compare_runs(fast, packet, mfast, mpacket)
+    if args.shards is not None:
+        from repro.netsim.differential import compare_sharded, run_sharded_pair
+
+        fast, packet = run_sharded_pair(
+            app, args.nprocs, args.shards, app_args=app_args,
+            label=f"{args.benchmark}.{args.klass}.{args.nprocs}",
+            sync=args.shard_sync,
+        )
+        host["both"] = time.perf_counter() - t0
+        deltas = compare_sharded(fast, packet)
+        sides = ("single", "sharded")
+        axis = (f"single vs {args.shards} shards, sync={args.shard_sync}")
+        fail_hint = ("the sharded engine is NOT safe on this workload; run "
+                     "without --shards and report a bug")
+        ok_line = ("OK: the sharded engine is bit-identical on this "
+                   "workload")
+    else:
+        fast, packet, mfast, mpacket = run_both(
+            app, args.nprocs, app_args=app_args,
+            label=f"{args.benchmark}.{args.klass}.{args.nprocs}",
+        )
+        host["both"] = time.perf_counter() - t0
+        deltas = compare_runs(fast, packet, mfast, mpacket)
+        sides = ("fast", "packet")
+        axis = "fast vs packet"
+        fail_hint = ("the fast path is NOT safe on this workload; run with "
+                     "network_path='packet' and report a bug")
+        ok_line = ("OK: the fast path is observationally identical on this "
+                   "workload")
     unequal = [d for d in deltas if not d.equal]
 
     width = max(len(d.measure) for d in deltas)
     print(f"differential: {args.benchmark}.{args.klass} np={args.nprocs} "
-          f"niter={args.niter} (fast vs packet, "
+          f"niter={args.niter} ({axis}, "
           f"{host['both']:.2f} s host)")
     for d in deltas:
         mark = "==" if d.equal else "!="
         print(f"  {d.measure:<{width}}  {mark}")
         if not d.equal:
-            print(f"    fast:   {d.fast!r}")
-            print(f"    packet: {d.packet!r}")
+            print(f"    {sides[0]}: {d.fast!r}")
+            print(f"    {sides[1]}: {d.packet!r}")
     n_eq = len(deltas) - len(unequal)
     print(f"{n_eq}/{len(deltas)} measures bit-identical", end="")
-    ref = fast if args.compare == "fast" else packet
-    print(f"; {args.compare} path simulated {ref.elapsed * 1e3:.2f} ms")
+    ref = packet if (args.shards is not None or args.compare == "packet") \
+        else fast
+    which = sides[1] if (args.shards is not None
+                         or args.compare == "packet") else sides[0]
+    print(f"; {which} side simulated {ref.elapsed * 1e3:.2f} ms")
     if unequal:
-        print(f"FAIL: {len(unequal)} measure(s) differ -- the fast path is "
-              "NOT safe on this workload; run with network_path='packet' "
-              "and report a bug")
+        print(f"FAIL: {len(unequal)} measure(s) differ -- {fail_hint}")
         return 1
-    print("OK: the fast path is observationally identical on this workload")
+    print(ok_line)
     return 0
 
 

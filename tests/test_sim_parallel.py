@@ -1,0 +1,194 @@
+"""Sharded parallel-DES engine: partitioning, edge cases, bit-parity.
+
+The sharded engine (:mod:`repro.sim.parallel`) is only admissible under
+the same rule as the network fast path: a sharded run must be
+*bit-identical* to a single-process channel-delivery run of the same
+seed -- every overlap report, finish time, and compute log equal.  These
+tests cover the partitioner's edge cases (one rank per shard, rank
+counts not divisible by the shard count, zero cross-shard traffic), the
+option surface, and a hypothesis differential across random small
+configs and seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.experiments.halo import halo_app, halo_edges
+from repro.mpisim.config import MpiConfig
+from repro.netsim.differential import assert_sharded_identical
+from repro.netsim.params import NetworkParams
+from repro.runtime import run_app
+from repro.sim.parallel import partition_ranks, run_app_sharded
+
+_TAG = 61
+
+
+def _pair_app(ctx, nbytes=2048.0, rounds=3):
+    """Ranks talk only inside disjoint pairs (0,1), (2,3), ..."""
+    if ctx.size % 2:
+        raise AssertionError("pair app needs an even rank count")
+    peer = ctx.rank ^ 1
+    for _ in range(rounds):
+        r = yield from ctx.comm.irecv(peer, _TAG)
+        s = yield from ctx.comm.isend(peer, _TAG, nbytes)
+        yield from ctx.compute(10.0e-6)
+        yield from ctx.comm.waitall([r, s])
+    return ctx.rank
+
+
+# ---------------------------------------------------------------- partitioner
+
+def test_partition_contiguous_divisible():
+    assert partition_ranks(8, 4) == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+
+def test_partition_non_divisible_sizes_differ_by_at_most_one():
+    parts = partition_ranks(10, 4)
+    assert [len(p) for p in parts] == [3, 3, 2, 2]
+    assert sorted(r for p in parts for r in p) == list(range(10))
+
+
+def test_partition_one_rank_per_shard():
+    assert partition_ranks(3, 3) == [[0], [1], [2]]
+    # More shards than ranks collapses to one rank per shard.
+    assert partition_ranks(3, 7) == [[0], [1], [2]]
+
+
+def test_partition_topology_ring_stays_contiguous():
+    # On a ring the heaviest-neighbor traversal is rank order, so the
+    # topology strategy reproduces the contiguous cut.
+    parts = partition_ranks(8, 2, strategy="topology", edges=halo_edges(8))
+    assert parts == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+
+def test_partition_topology_groups_heavy_pairs():
+    # Pairs (0,3) and (1,2) talk heavily; a contiguous cut of 4 ranks
+    # into 2 shards would split both pairs, the topology cut splits none.
+    edges = [(0, 3, 100.0), (1, 2, 100.0), (3, 1, 1.0)]
+    parts = partition_ranks(4, 2, strategy="topology", edges=edges)
+    for a, b, _w in edges[:2]:
+        shard_of = {r: i for i, p in enumerate(parts) for r in p}
+        assert shard_of[a] == shard_of[b], parts
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        partition_ranks(0, 1)
+    with pytest.raises(ValueError):
+        partition_ranks(4, 0)
+    with pytest.raises(ValueError):
+        partition_ranks(4, 2, strategy="hilbert")
+    with pytest.raises(ValueError, match="bad edge"):
+        partition_ranks(4, 2, strategy="topology", edges=[(0,)])
+
+
+def test_explicit_partition_must_cover_every_rank():
+    with pytest.raises(ValueError):
+        run_app_sharded(_pair_app, 4, 2, backend="inline",
+                        partition=[[0, 1], [2]])
+    with pytest.raises(ValueError):
+        run_app_sharded(_pair_app, 4, 2, backend="inline",
+                        partition=[[0, 1], [1, 2, 3]])
+    with pytest.raises(ValueError, match="empty shard"):
+        run_app_sharded(_pair_app, 4, 2, backend="inline",
+                        partition=[[0, 1, 2, 3], []])
+
+
+# ------------------------------------------------------------- option surface
+
+def test_unsupported_observers_raise():
+    from repro.metrics import MetricsRegistry
+
+    with pytest.raises(ValueError, match="metrics"):
+        run_app(_pair_app, 4, shards=2, metrics=MetricsRegistry())
+    with pytest.raises(ValueError, match="sync"):
+        run_app_sharded(_pair_app, 4, 2, sync="optimistic")
+    with pytest.raises(ValueError, match="backend"):
+        run_app_sharded(_pair_app, 4, 2, backend="thread")
+
+
+def test_zero_lookahead_rejected():
+    params = NetworkParams(latency=0.0, per_message_overhead=0.0)
+    with pytest.raises(ValueError, match="lookahead"):
+        run_app_sharded(_pair_app, 4, 2, params=params, backend="inline")
+
+
+# ----------------------------------------------------------------- edge cases
+
+def test_one_rank_per_shard_matches_single():
+    assert_sharded_identical(_pair_app, 4, 4, backend="inline")
+
+
+def test_non_divisible_ranks_match_single():
+    assert_sharded_identical(halo_app, 5, 2, backend="inline",
+                             app_args=(4, 1024.0, 15.0e-6))
+
+
+def test_zero_cross_shard_traffic():
+    # The pair app's communicating pairs never straddle the contiguous
+    # 2-shard cut of 4 ranks, so the coordinator must carry zero payload
+    # messages -- and the run must still terminate and match exactly.
+    deltas = assert_sharded_identical(_pair_app, 4, 2, backend="inline")
+    assert deltas
+    result = run_app_sharded(_pair_app, 4, 2, backend="inline")
+    assert result.sync_stats["messages"] == 0
+    assert all(s["msgs_across"] == 0 for s in result.shard_stats)
+
+
+def test_cross_shard_traffic_counted():
+    result = run_app_sharded(halo_app, 6, 2, backend="inline",
+                             app_args=(3, 1024.0, 15.0e-6))
+    assert result.sync_stats["messages"] > 0
+
+
+def test_null_sync_matches_single():
+    assert_sharded_identical(halo_app, 6, 3, backend="inline", sync="null",
+                             app_args=(3, 2048.0, 15.0e-6))
+
+
+def test_process_backend_matches_single():
+    assert_sharded_identical(halo_app, 4, 2, backend="process",
+                             app_args=(3, 1024.0, 15.0e-6))
+
+
+def test_shards_one_matches_single():
+    assert_sharded_identical(halo_app, 4, 1, backend="inline",
+                             app_args=(3, 1024.0, 15.0e-6))
+
+
+# ------------------------------------------------- hypothesis differential
+
+_CONFIGS = (
+    MpiConfig(name="s-eager", eager_limit=1 << 16),
+    MpiConfig(name="s-rndv", eager_limit=512, rndv_mode="rget"),
+    MpiConfig(name="s-pipe", eager_limit=512, rndv_mode="pipelined",
+              frag_size=2048),
+)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nprocs=st.integers(min_value=2, max_value=6),
+    shards=st.integers(min_value=2, max_value=3),
+    config=st.sampled_from(_CONFIGS),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    jitter=st.sampled_from((0.0, 0.25)),
+    nbytes=st.sampled_from((64.0, 1024.0, 8192.0)),
+    sync=st.sampled_from(("window", "null")),
+)
+def test_hypothesis_sharded_bit_identical(nprocs, shards, config, seed,
+                                          jitter, nbytes, sync):
+    """Random small configs: sharded reports must equal single-process."""
+    params = NetworkParams(latency_jitter_frac=jitter)
+    assert_sharded_identical(
+        halo_app, nprocs, shards, config=config,
+        params=dataclasses.replace(params),
+        app_args=(3, nbytes, 12.0e-6), seed=seed, sync=sync,
+        backend="inline", record_transfers=True,
+    )

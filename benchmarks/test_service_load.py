@@ -1,0 +1,265 @@
+"""Load benchmark: the analysis service under a concurrent burst.
+
+Drives a *real* loopback HTTP server (asyncio front end, thread worker
+pool, sharded on-disk cache) the way a saturated multi-user deployment
+would see it:
+
+* **burst**: ≥1000 concurrent submissions from parallel keep-alive
+  clients, ~98% of them duplicates of 20 distinct analyses -- asserting
+  that single-flight dedupe plus the content-hash cache serve ≥90% of
+  the burst without executing anything;
+* **warm hits**: submit/answer round-trip latency for fully cached
+  analyses (the p50 must stay under 10 ms);
+* **saturation**: a quota-bounded service refuses over-budget
+  submissions with 429 + ``Retry-After`` while within-budget jobs are
+  accepted, deterministically.
+
+Numbers land in ``BENCH_service.json`` for
+``benchmarks/check_regression.py`` to gate (the ``service_load`` block).
+
+Run with::
+
+    pytest benchmarks/test_service_load.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.experiments.runner import Task
+from repro.service import (
+    OverlapService,
+    QuotaConfig,
+    ServerThread,
+    ServiceClient,
+)
+from repro.service.jobs import Submission
+
+BENCH_SERVICE_PATH = (
+    pathlib.Path(__file__).parent.parent / "BENCH_service.json")
+
+#: Burst shape: THREADS clients x PER_CLIENT submissions over DISTINCT
+#: distinct analyses.  1000 total, 98% duplicates.
+THREADS = 20
+PER_CLIENT = 50
+DISTINCT = 20
+
+#: Acceptance floors asserted hard (the regression guard adds trend
+#: protection on top).
+MIN_HOT_RATIO = 0.90
+MAX_WARM_P50_MS = 10.0
+
+
+def _spec(n: int) -> dict:
+    """One of the DISTINCT distinct analyses: a tiny micro cell."""
+    return {
+        "tenant": f"tenant-{n % 5}",
+        "kind": "micro",
+        "pattern": "isend_irecv",
+        "nbytes": 1024 * (1 + n),
+        "computes": [0.0],
+        "iters": 3,
+        "warmup": 0,
+    }
+
+
+def _sleep_worker(seconds):  # module-level: crosses the process boundary
+    import time as _time
+
+    _time.sleep(seconds)
+    return "slept"
+
+
+def _percentile(samples: "list[float]", q: float) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
+
+@pytest.fixture(scope="module")
+def service_numbers():
+    """Collect the measured numbers; write BENCH_service.json at exit."""
+    numbers: dict = {}
+    yield numbers
+    if not numbers:
+        return
+    payload = {
+        "description": "analysis-service load benchmark "
+        "(pytest benchmarks/test_service_load.py -q -s): a 1000-"
+        "submission burst over 20 distinct analyses against a real "
+        "loopback HTTP server, warm-hit latency, and quota saturation",
+        "current": {},
+    }
+    if BENCH_SERVICE_PATH.exists():
+        try:
+            previous = json.loads(
+                BENCH_SERVICE_PATH.read_text(encoding="utf-8"))
+            payload["current"] = dict(previous.get("current", {}))
+        except (json.JSONDecodeError, OSError):
+            pass
+    payload["current"].update(numbers)
+    BENCH_SERVICE_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {BENCH_SERVICE_PATH}")
+
+
+def test_burst_dedupe_and_warm_latency(tmp_path_factory, service_numbers):
+    tmp = tmp_path_factory.mktemp("service-load")
+    service = OverlapService(cache_root=tmp / "cache", workers=4,
+                             quotas=QuotaConfig(max_queued_per_tenant=256,
+                                                max_running_per_tenant=4,
+                                                max_queued_total=2048))
+    with ServerThread(service) as srv:
+        url = srv.url
+        total = THREADS * PER_CLIENT
+        outcomes = {"cache_hit": 0, "deduped": 0, "executed": 0, "other": 0}
+        tally_lock = threading.Lock()
+        errors: "list[str]" = []
+        start_barrier = threading.Barrier(THREADS + 1)
+
+        def client_thread(tid: int) -> None:
+            local = {"cache_hit": 0, "deduped": 0, "executed": 0, "other": 0}
+            try:
+                with ServiceClient(url, timeout=60.0) as client:
+                    start_barrier.wait()
+                    for j in range(PER_CLIENT):
+                        spec = _spec((tid + j) % DISTINCT)
+                        resp = client.submit(spec)
+                        if resp.status == 200 and resp.body.get("cached"):
+                            local["cache_hit"] += 1
+                        elif resp.status == 202 and resp.body.get("deduped"):
+                            local["deduped"] += 1
+                        elif resp.status == 202:
+                            local["executed"] += 1
+                        else:
+                            local["other"] += 1
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(f"client {tid}: {type(exc).__name__}: {exc}")
+            with tally_lock:
+                for key, count in local.items():
+                    outcomes[key] += count
+
+        threads = [threading.Thread(target=client_thread, args=(t,))
+                   for t in range(THREADS)]
+        for t in threads:
+            t.start()
+        start_barrier.wait()
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join()
+        burst_s = time.perf_counter() - t0
+        assert not errors, errors
+
+        # Every submission was admitted (the burst is within quota)...
+        assert outcomes["other"] == 0, outcomes
+        assert sum(outcomes.values()) == total
+        # ...and the duplicate mass never reached a worker: at most one
+        # execution per distinct analysis, ≥90% served hot.
+        assert outcomes["executed"] <= DISTINCT
+        hot = outcomes["cache_hit"] + outcomes["deduped"]
+        hot_ratio = hot / total
+        assert hot_ratio >= MIN_HOT_RATIO, outcomes
+
+        # Drain: every job (waiters included) reaches a terminal state.
+        deadline = time.monotonic() + 120.0
+        while service.progress.done < total:
+            assert time.monotonic() < deadline, service.progress.status()
+            time.sleep(0.02)
+
+        # Warm phase: everything is cached now; measure the full HTTP
+        # submit->answer round trip on keep-alive connections.
+        warm_ms: "list[float]" = []
+        warm_lock = threading.Lock()
+
+        def warm_thread(tid: int) -> None:
+            local: "list[float]" = []
+            with ServiceClient(url, timeout=60.0) as client:
+                for j in range(50):
+                    spec = _spec((tid + j) % DISTINCT)
+                    w0 = time.perf_counter()
+                    resp = client.submit(spec)
+                    local.append((time.perf_counter() - w0) * 1e3)
+                    assert resp.status == 200 and resp.body["cached"]
+            with warm_lock:
+                warm_ms.extend(local)
+
+        warm_threads = [threading.Thread(target=warm_thread, args=(t,))
+                        for t in range(4)]
+        for t in warm_threads:
+            t.start()
+        for t in warm_threads:
+            t.join()
+
+        p50 = statistics.median(warm_ms)
+        p99 = _percentile(warm_ms, 0.99)
+        assert p50 < MAX_WARM_P50_MS, f"warm-hit p50 {p50:.2f} ms"
+
+        metrics = service.metrics_text()
+        assert 'repro_service_submissions_total{outcome="deduped"}' in metrics
+
+    service_numbers["service_load"] = {
+        "submissions": total,
+        "distinct_analyses": DISTINCT,
+        "executed": outcomes["executed"],
+        "served_hot_ratio": round(hot_ratio, 4),
+        "submissions_per_s": round(total / burst_s, 1),
+        "burst_s": round(burst_s, 3),
+        "warm_hit_p50_ms": round(p50, 3),
+        "warm_hit_p99_ms": round(p99, 3),
+        "warm_samples": len(warm_ms),
+    }
+    print(f"\nburst: {total} submissions in {burst_s:.2f}s "
+          f"({total / burst_s:.0f}/s), {outcomes['executed']} executed, "
+          f"hot ratio {hot_ratio:.1%}")
+    print(f"warm hit: p50 {p50:.2f} ms, p99 {p99:.2f} ms "
+          f"({len(warm_ms)} samples)")
+
+
+def test_quota_enforcement_under_saturation(tmp_path_factory,
+                                            service_numbers):
+    tmp = tmp_path_factory.mktemp("service-sat")
+    quotas = QuotaConfig(max_queued_per_tenant=2, max_running_per_tenant=1,
+                         max_queued_total=8)
+    service = OverlapService(cache_root=tmp / "cache", workers=1,
+                             quotas=quotas)
+    with ServerThread(service) as srv:
+        # Park the only worker so queue state is deterministic.
+        blocker = Submission(tenant="blocker", kind="nas", priority=0,
+                             label="blocker", spec={})
+        service.submit_tasks(blocker, [Task(_sleep_worker, (3.0,))])
+
+        with ServiceClient(srv.url) as client:
+            accepted = rejected = 0
+            retry_afters: "list[float]" = []
+            for n in range(24):
+                spec = {**_spec(100 + n), "tenant": "flood"}
+                resp = client.submit(spec)
+                if resp.status == 202:
+                    accepted += 1
+                elif resp.status == 429:
+                    rejected += 1
+                    assert "Retry-After" in resp.headers
+                    assert int(resp.headers["Retry-After"]) >= 1
+                    retry_afters.append(float(resp.body["retry_after"]))
+                else:
+                    raise AssertionError(f"unexpected {resp.status}")
+            # Exactly the tenant budget was admitted; the flood bounced.
+            assert accepted == quotas.max_queued_per_tenant
+            assert rejected == 24 - accepted
+            health = client.healthz().body
+            assert health["queue_depth"] <= quotas.max_queued_total
+
+    service_numbers["service_saturation"] = {
+        "flood_submissions": 24,
+        "accepted": accepted,
+        "rejected_429": rejected,
+        "min_retry_after_s": min(retry_afters),
+    }
+    print(f"\nsaturation: {accepted} accepted (quota "
+          f"{quotas.max_queued_per_tenant}), {rejected} rejected with 429")

@@ -36,6 +36,7 @@ import multiprocessing.connection
 import os
 import pickle
 import tempfile
+import threading
 import time
 import traceback
 import typing
@@ -151,17 +152,108 @@ class ResultCache:
     Layout: ``<root>/<key[:2]>/<key>.pkl`` -- two-level fan-out keeps any
     one directory small.  Writes are atomic (tmp file + ``os.replace``),
     so a crashed or interrupted sweep never leaves a truncated entry.
+
+    By default the store is unbounded (a CLI cache on a developer machine
+    is a feature, not a leak).  A long-lived service writing to it is a
+    different story: pass ``max_entries`` and/or ``max_bytes`` to bound
+    it, and the least-recently-*used* entries (hits refresh recency) are
+    evicted on write.  ``metrics`` (optional
+    :class:`~repro.metrics.MetricsRegistry`) exposes hit/miss/eviction
+    counters; several caches sharing one registry accumulate into the
+    same counters.
     """
 
-    def __init__(self, root: "str | os.PathLike | None" = None) -> None:
+    def __init__(self, root: "str | os.PathLike | None" = None,
+                 max_entries: "int | None" = None,
+                 max_bytes: "int | None" = None,
+                 metrics: "object | None" = None) -> None:
         if root is None:
             root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
         self.root = os.fspath(root)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        #: key -> (recency tick, size); lazily built from disk the first
+        #: time a bound must be enforced.  ``None`` means "not scanned".
+        self._index: "dict[str, tuple[float, int]] | None" = None
+        self._tick = 0.0
+        self._hits_c = self._misses_c = self._evictions_c = None
+        if metrics is not None:
+            self._hits_c = metrics.counter(  # type: ignore[attr-defined]
+                "repro_cache_lookups", "Result-cache lookups by outcome",
+                labels={"outcome": "hit"})
+            self._misses_c = metrics.counter(  # type: ignore[attr-defined]
+                "repro_cache_lookups", labels={"outcome": "miss"})
+            self._evictions_c = metrics.counter(  # type: ignore[attr-defined]
+                "repro_cache_evictions", "Result-cache LRU evictions")
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_entries is not None or self.max_bytes is not None
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def _next_tick(self) -> float:
+        self._tick += 1.0
+        return self._tick
+
+    def _scan_index(self) -> "dict[str, tuple[float, int]]":
+        """Build the LRU index from disk (mtime seeds the recency order)."""
+        index: "dict[str, tuple[float, int]]" = {}
+        if not os.path.isdir(self.root):
+            return index
+        entries = []
+        for sub in os.listdir(self.root):
+            subdir = os.path.join(self.root, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in os.listdir(subdir):
+                if not name.endswith(".pkl"):
+                    continue
+                try:
+                    st = os.stat(os.path.join(subdir, name))
+                except OSError:
+                    continue
+                entries.append((st.st_mtime, name[:-4], st.st_size))
+        entries.sort()
+        for mtime, key, size in entries:
+            index[key] = (self._next_tick(), size)
+        return index
+
+    def _touch(self, key: str, size: "int | None" = None) -> None:
+        """Refresh ``key``'s recency (and size, when known) in the index."""
+        if not self.bounded:
+            return
+        if self._index is None:
+            self._index = self._scan_index()
+        old = self._index.get(key)
+        if size is None:
+            size = old[1] if old is not None else 0
+        self._index[key] = (self._next_tick(), size)
+
+    def _evict_over_bound(self) -> None:
+        assert self._index is not None
+        while True:
+            over_entries = (self.max_entries is not None
+                            and len(self._index) > self.max_entries)
+            over_bytes = (self.max_bytes is not None
+                          and sum(s for _, s in self._index.values())
+                          > self.max_bytes)
+            if not (over_entries or over_bytes) or not self._index:
+                return
+            victim = min(self._index, key=lambda k: self._index[k][0])  # type: ignore[index]
+            del self._index[victim]
+            try:
+                os.unlink(self._path(victim))
+            except OSError:
+                pass
+            self.evictions += 1
+            if self._evictions_c is not None:
+                self._evictions_c.inc()
 
     def get(self, key: str) -> "tuple[bool, object]":
         """Return ``(found, value)``; counts a hit or a miss.
@@ -178,9 +270,16 @@ class ResultCache:
             with open(self._path(key), "rb") as fh:
                 value = pickle.load(fh)
         except Exception:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
+                if self._misses_c is not None:
+                    self._misses_c.inc()
             return False, None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
+            if self._hits_c is not None:
+                self._hits_c.inc()
+            self._touch(key)
         return True, value
 
     def put(self, key: str, value: object) -> None:
@@ -199,6 +298,14 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.bounded:
+            with self._lock:
+                try:
+                    size = os.stat(path).st_size
+                except OSError:
+                    size = 0
+                self._touch(key, size)
+                self._evict_over_bound()
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""
@@ -283,11 +390,23 @@ class FailedTask:
     #: Worker process exit code when the worker died without reporting
     #: (crash / signal); ``None`` for an in-worker Python exception.
     exitcode: "int | None" = None
+    #: True when the cell never completed because the sweep's ``cancel``
+    #: event fired (the service's ``DELETE /v1/jobs/{id}`` path).
+    cancelled: bool = False
 
     def __bool__(self) -> bool:
         # A failed cell is falsy so sweep code can filter results with a
         # plain truthiness check.
         return False
+
+
+class SweepCancelled(RuntimeError):
+    """Raised by :func:`run_tasks` under ``on_error="raise"`` when the
+    ``cancel`` event fires mid-sweep."""
+
+
+def _cancelled_cell(task: Task) -> FailedTask:
+    return FailedTask(_task_name(task), "cancelled", cancelled=True)
 
 
 def _run_task(task: Task) -> object:  # worker-side entry point
@@ -332,11 +451,22 @@ def _run_task_piped(task: Task, conn) -> None:
         conn.close()
 
 
+def _progress_done(progress: "SweepProgress | None", dur: float,
+                   task: Task, value: object) -> None:
+    if progress is None:
+        return
+    if isinstance(value, FailedTask):
+        progress.task_done(dur, name=_task_name(task), failed=True)
+    else:
+        progress.task_done(dur, name=_task_name(task))
+
+
 def _run_pending_resilient(
     tasks: "list[Task]",
     pending: "list[int]",
     jobs: int,
     progress: "SweepProgress | None",
+    cancel: "typing.Any | None" = None,
 ) -> "list[tuple[float, object]]":
     """Fan tasks across one process *each* (at most ``jobs`` at a time).
 
@@ -346,25 +476,61 @@ def _run_pending_resilient(
     parent's end and the cell becomes a :class:`FailedTask` carrying the
     exit code, while every other point proceeds.  Results are slotted
     positionally, so ordering stays deterministic.
+
+    ``cancel`` (any object with ``is_set()``) is polled between launches
+    and while draining: once set, no new worker starts, every in-flight
+    worker is terminated *and joined*, and the untouched cells resolve to
+    cancelled :class:`FailedTask` placeholders.
     """
     ctx = multiprocessing.get_context()
     timed: "list[tuple[float, object] | None]" = [None] * len(pending)
     inflight: dict = {}  # parent conn -> (slot, task index, process, start)
     next_slot = 0
+
+    def _is_cancelled() -> bool:
+        return cancel is not None and cancel.is_set()
+
     try:
         while next_slot < len(pending) or inflight:
+            if _is_cancelled():
+                # Kill in-flight workers (terminate + join: no orphans,
+                # no zombies) and mark every unfinished cell cancelled.
+                for conn, (slot, i, proc, t0) in inflight.items():
+                    proc.terminate()
+                    proc.join()
+                    conn.close()
+                    timed[slot] = (time.perf_counter() - t0,
+                                   _cancelled_cell(tasks[i]))
+                    _progress_done(progress, timed[slot][0], tasks[i],
+                                   timed[slot][1])
+                inflight.clear()
+                for slot in range(next_slot, len(pending)):
+                    i = pending[slot]
+                    timed[slot] = (0.0, _cancelled_cell(tasks[i]))
+                    _progress_done(progress, 0.0, tasks[i], timed[slot][1])
+                next_slot = len(pending)
+                break
             while next_slot < len(pending) and len(inflight) < jobs:
                 i = pending[next_slot]
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
+                # Non-daemonic: a cell may itself fork (the sharded
+                # parallel-DES engine runs one process per shard), which
+                # daemonic processes are forbidden to do.  The ``finally``
+                # below terminates + joins whatever is still in flight, so
+                # no path leaks a child.
                 proc = ctx.Process(
                     target=_run_task_piped, args=(tasks[i], child_conn),
-                    daemon=True,
                 )
                 proc.start()
                 child_conn.close()
                 inflight[parent_conn] = (next_slot, i, proc, time.perf_counter())
                 next_slot += 1
-            for conn in multiprocessing.connection.wait(list(inflight)):
+            # Poll with a timeout when cancellable so a cancel fired
+            # mid-cell is noticed promptly, not at the next completion.
+            ready = multiprocessing.connection.wait(
+                list(inflight), timeout=0.05 if cancel is not None else None
+            )
+            for conn in ready:
                 slot, i, proc, t0 = inflight.pop(conn)
                 try:
                     dur, value = conn.recv()
@@ -381,11 +547,13 @@ def _run_pending_resilient(
                     proc.join()
                 conn.close()
                 timed[slot] = (dur, value)
-                if progress is not None:
-                    progress.task_done(dur, name=_task_name(tasks[i]))
+                _progress_done(progress, dur, tasks[i], value)
     finally:
         for conn, (_slot, _i, proc, _t0) in inflight.items():
             proc.terminate()
+            # Always join after terminate -- an exception path that skips
+            # the join leaks zombie children for the parent's lifetime.
+            proc.join()
             conn.close()
     return typing.cast("list[tuple[float, object]]", timed)
 
@@ -397,6 +565,8 @@ def run_tasks(
     progress: "SweepProgress | None" = None,
     reuse_pool: bool = True,
     on_error: str = "raise",
+    cancel: "typing.Any | None" = None,
+    isolate: bool = False,
 ) -> list[object]:
     """Run ``tasks`` and return their results **in task order**.
 
@@ -425,6 +595,20 @@ def run_tasks(
     continue policy runs each uncached task in its own short-lived
     process (crash isolation costs the pool reuse).
 
+    ``cancel`` (optional; anything with ``is_set()``, e.g. a
+    :class:`threading.Event`) makes the sweep cooperatively cancellable:
+    it is checked between tasks, and in the crash-isolated path in-flight
+    worker processes are terminated and joined.  Under
+    ``on_error="continue"`` cancelled cells resolve to
+    :class:`FailedTask` placeholders with ``cancelled=True``; under
+    ``on_error="raise"`` a fired cancel raises :class:`SweepCancelled`.
+
+    ``isolate=True`` (requires ``on_error="continue"``) forces the
+    one-process-per-task crash-isolated path even for a single task or
+    ``jobs=1`` -- this is how the analysis service keeps a crashing job
+    from taking the server down, and what makes its ``DELETE`` endpoint
+    able to kill a running job without orphaning processes.
+
     Determinism: results are positionally identical to a serial run
     regardless of ``jobs``, cache state, pool reuse, or progress
     publication, because every task is an independent pure function and
@@ -434,6 +618,8 @@ def run_tasks(
         raise ValueError(
             f"on_error must be 'raise' or 'continue', got {on_error!r}"
         )
+    if isolate and on_error != "continue":
+        raise ValueError("isolate=True requires on_error='continue'")
     tasks = list(tasks)
     results: list[object] = [None] * len(tasks)
     pending: list[int] = []
@@ -462,17 +648,31 @@ def run_tasks(
 
     if jobs is None:
         jobs = 1
-    if jobs <= 1 or len(pending) == 1:
+    if isolate:
+        timed = _run_pending_resilient(
+            tasks, pending, max(1, min(jobs, len(pending))), progress, cancel
+        )
+    elif jobs <= 1 or len(pending) == 1:
         run_one = _run_task_failsafe if on_error == "continue" else _run_task_timed
         timed = []
-        for i in pending:
+        for n, i in enumerate(pending):
+            if cancel is not None and cancel.is_set():
+                if on_error == "raise":
+                    raise SweepCancelled(
+                        f"sweep cancelled after {n} of {len(pending)} "
+                        "pending tasks"
+                    )
+                for j in pending[n:]:
+                    value = _cancelled_cell(tasks[j])
+                    _progress_done(progress, 0.0, tasks[j], value)
+                    timed.append((0.0, value))
+                break
             dur, value = run_one(tasks[i])
-            if progress is not None:
-                progress.task_done(dur, name=_task_name(tasks[i]))
+            _progress_done(progress, dur, tasks[i], value)
             timed.append((dur, value))
     elif on_error == "continue":
         timed = _run_pending_resilient(
-            tasks, pending, min(jobs, len(pending)), progress
+            tasks, pending, min(jobs, len(pending)), progress, cancel
         )
     elif reuse_pool:
         pool = _get_shared_pool(jobs)
@@ -483,6 +683,11 @@ def run_tasks(
                 pool.imap(_run_task_timed, [tasks[i] for i in pending],
                           chunksize=1),
             ):
+                if cancel is not None and cancel.is_set():
+                    raise SweepCancelled(
+                        f"sweep cancelled after {len(timed)} of "
+                        f"{len(pending)} pending tasks"
+                    )
                 if progress is not None:
                     progress.task_done(dur, name=_task_name(tasks[i]))
                 timed.append((dur, value))
@@ -498,6 +703,11 @@ def run_tasks(
                 pool.imap(_run_task_timed, [tasks[i] for i in pending],
                           chunksize=1),
             ):
+                if cancel is not None and cancel.is_set():
+                    raise SweepCancelled(
+                        f"sweep cancelled after {len(timed)} of "
+                        f"{len(pending)} pending tasks"
+                    )
                 if progress is not None:
                     progress.task_done(dur, name=_task_name(tasks[i]))
                 timed.append((dur, value))

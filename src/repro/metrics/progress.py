@@ -81,6 +81,7 @@ class SweepProgress:
         self.total = 0
         self.done = 0
         self.cached = 0
+        self.failed = 0
         self.jobs = 1
         self.busy_seconds = 0.0
         self._t0 = time.monotonic()
@@ -93,6 +94,9 @@ class SweepProgress:
         )
         self._tasks_cached = self.registry.counter(
             "repro_sweep_tasks", labels={"outcome": "cached"},
+        )
+        self._tasks_failed = self.registry.counter(
+            "repro_sweep_tasks", labels={"outcome": "failed"},
         )
         self._task_seconds = self.registry.histogram(
             "repro_sweep_task_seconds", "Host seconds per executed sweep task",
@@ -122,10 +126,20 @@ class SweepProgress:
         self._publish(force=True)
 
     def task_done(self, duration: float, cached: bool = False,
-                  name: str = "") -> None:
-        """Record one finished task (``duration`` in host seconds)."""
+                  name: str = "", failed: bool = False) -> None:
+        """Record one finished task (``duration`` in host seconds).
+
+        ``failed`` marks a cell that ended as a
+        :class:`~repro.experiments.runner.FailedTask` (worker exception,
+        crash, or cancellation); the dashboard surfaces the count and
+        ``watch --once`` exits nonzero on a finished sweep with failures.
+        """
         self.done += 1
-        if cached:
+        if failed:
+            self.failed += 1
+            self._tasks_failed.inc()
+            self.busy_seconds += duration
+        elif cached:
             self.cached += 1
             self._tasks_cached.inc()
         else:
@@ -158,6 +172,7 @@ class SweepProgress:
             "total": self.total,
             "done": self.done,
             "cached": self.cached,
+            "failed": self.failed,
             "queued": remaining,
             "jobs": self.jobs,
             "elapsed_s": round(self.elapsed, 3),

@@ -1,0 +1,42 @@
+"""Overlap-analysis-as-a-service: the paper tool behind one front door.
+
+PRs 1-6 built the backends -- a content-hash result cache, a metrics
+registry with OpenMetrics exposition, fault plans, crash-isolated sweep
+workers, a sharded parallel-DES engine.  This package is the long-running
+front door over all of them: an asyncio HTTP/JSON job server with
+multi-tenant queueing, admission control, single-flight dedupe, a
+sharded result cache, and streamed results.
+
+Start it with ``python -m repro.tools.serve``; see ``docs/service.md``.
+"""
+
+from repro.service.cache import CacheLayoutError, ShardedResultCache
+from repro.service.client import Response, ServiceClient, ServiceError
+from repro.service.core import Job, OverlapService
+from repro.service.jobs import (
+    Submission,
+    SubmissionError,
+    job_content_key,
+    parse_submission,
+)
+from repro.service.queue import Admission, QuotaConfig, TenantQueue
+from repro.service.server import ServerThread, ServiceHTTPServer
+
+__all__ = [
+    "Admission",
+    "CacheLayoutError",
+    "Job",
+    "OverlapService",
+    "QuotaConfig",
+    "Response",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ShardedResultCache",
+    "Submission",
+    "SubmissionError",
+    "TenantQueue",
+    "job_content_key",
+    "parse_submission",
+]

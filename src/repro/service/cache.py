@@ -1,0 +1,105 @@
+"""Sharded front over :class:`repro.experiments.runner.ResultCache`.
+
+One long-running server hammering a single cache directory serializes on
+that directory's metadata; splitting the key space over N independent
+roots (``<root>/shard-00`` ... ``shard-NN``, selected by the leading hex
+of the content hash) keeps directory fan-out and any per-shard locking
+independent.  The shard layout is self-describing: a ``shards.json``
+marker records the shard count so a restart with a different ``--cache-
+shards`` value refuses to silently mis-route keys.
+
+Every shard can be bounded (``max_entries`` / ``max_bytes`` are *per
+shard*) and all shards share one metrics registry, so the service's
+``/v1/metrics`` exposes aggregate hit/miss/eviction counters.
+
+The class implements the same ``get``/``put`` protocol ``run_tasks``
+expects, so it drops in anywhere a plain :class:`ResultCache` does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import typing
+
+from repro.experiments.runner import ResultCache
+
+SHARD_MARKER = "shards.json"
+
+
+class CacheLayoutError(RuntimeError):
+    """An existing cache root was sharded with a different shard count."""
+
+
+class ShardedResultCache:
+    """N content-hash-partitioned :class:`ResultCache` directories."""
+
+    def __init__(self, root: "str | os.PathLike | None" = None,
+                 shards: int = 4,
+                 max_entries: "int | None" = None,
+                 max_bytes: "int | None" = None,
+                 metrics: "object | None" = None) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        # Resolve the root exactly like ResultCache (env var, default).
+        self.root = ResultCache(root).root
+        self.shards = shards
+        self._check_marker()
+        self._shards = [
+            ResultCache(os.path.join(self.root, f"shard-{i:02d}"),
+                        max_entries=max_entries, max_bytes=max_bytes,
+                        metrics=metrics)
+            for i in range(shards)
+        ]
+
+    def _check_marker(self) -> None:
+        path = os.path.join(self.root, SHARD_MARKER)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            os.makedirs(self.root, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump({"shards": self.shards}, fh)
+            return
+        if existing.get("shards") != self.shards:
+            raise CacheLayoutError(
+                f"cache root {self.root!r} was laid out with "
+                f"{existing.get('shards')} shards; asked for {self.shards} "
+                "(pick a fresh --cache-dir or match the existing count)"
+            )
+
+    def shard_for(self, key: str) -> ResultCache:
+        return self._shards[int(key[:8], 16) % self.shards]
+
+    # -- the run_tasks cache protocol --------------------------------------
+    def get(self, key: str) -> "tuple[bool, object]":
+        return self.shard_for(key).get(key)
+
+    def put(self, key: str, value: object) -> None:
+        self.shard_for(key).put(key, value)
+
+    # -- aggregate observability -------------------------------------------
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(s.evictions for s in self._shards)
+
+    def clear(self) -> int:
+        return sum(s.clear() for s in self._shards)
+
+    def describe(self) -> "dict[str, typing.Any]":
+        return {
+            "root": self.root,
+            "shards": self.shards,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

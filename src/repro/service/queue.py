@@ -1,0 +1,130 @@
+"""Prioritized, quota-bounded, multi-tenant job queue.
+
+The scheduling core of :mod:`repro.service` -- deliberately free of
+threads, sockets, and asyncio so its semantics can be property-tested as
+a plain data structure (``tests/test_service_queue.py``):
+
+* **admission control**: a tenant whose queued-job budget (or the global
+  budget) is exhausted is refused *before* the job exists, with a
+  ``retry_after`` hint for the HTTP 429;
+* **priority with per-tenant FIFO**: higher priority runs first; within
+  one tenant and one priority class, submission order is start order, no
+  matter how other tenants or priorities interleave;
+* **running quotas**: :meth:`TenantQueue.pop_next` never hands out a job
+  for a tenant already running ``max_running_per_tenant`` jobs -- a noisy
+  tenant can saturate its own slots, never the cluster.
+
+The queue stores opaque job objects; it only reads ``tenant`` and
+``priority`` attributes and assigns ``seq`` (a global arrival stamp).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class QuotaConfig:
+    """Per-tenant and global budgets enforced by the queue."""
+
+    #: Jobs one tenant may have waiting; further submissions get a 429.
+    max_queued_per_tenant: int = 64
+    #: Jobs one tenant may have *executing* concurrently.
+    max_running_per_tenant: int = 2
+    #: Waiting jobs across every tenant (global backpressure).
+    max_queued_total: int = 1024
+    #: Priorities are clamped into ``[0, max_priority]``.
+    max_priority: int = 9
+
+
+class Admission(typing.NamedTuple):
+    """Outcome of an admission-control check."""
+
+    ok: bool
+    reason: str = ""
+    #: Suggested client back-off in seconds (the ``Retry-After`` header).
+    retry_after: float = 1.0
+
+
+class TenantQueue:
+    """FIFO-per-(tenant, priority) queue with quotas.
+
+    Not thread-safe by itself: the service serializes access under its
+    own lock (and the property tests exploit that purity).
+    """
+
+    def __init__(self, quotas: "QuotaConfig | None" = None) -> None:
+        self.quotas = quotas if quotas is not None else QuotaConfig()
+        self._waiting: list = []  # arrival order; scanned on pop
+        self._queued_by_tenant: dict[str, int] = {}
+        self._seq = 0
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    def queued_for(self, tenant: str) -> int:
+        return self._queued_by_tenant.get(tenant, 0)
+
+    def tenants(self) -> "list[str]":
+        return sorted(t for t, n in self._queued_by_tenant.items() if n)
+
+    # -- admission ---------------------------------------------------------
+    def check(self, tenant: str,
+              retry_after: float = 1.0) -> Admission:
+        """Admission control for one prospective submission (no mutation)."""
+        if len(self._waiting) >= self.quotas.max_queued_total:
+            return Admission(False, "service queue is full", retry_after)
+        if self.queued_for(tenant) >= self.quotas.max_queued_per_tenant:
+            return Admission(
+                False,
+                f"tenant {tenant!r} has "
+                f"{self.quotas.max_queued_per_tenant} jobs queued",
+                retry_after,
+            )
+        return Admission(True)
+
+    def clamp_priority(self, priority: int) -> int:
+        return max(0, min(int(priority), self.quotas.max_priority))
+
+    # -- mutation ----------------------------------------------------------
+    def push(self, job) -> None:
+        """Enqueue an admitted job (assigns its arrival ``seq``)."""
+        self._seq += 1
+        job.seq = self._seq
+        self._waiting.append(job)
+        self._queued_by_tenant[job.tenant] = self.queued_for(job.tenant) + 1
+
+    def pop_next(self, running: "typing.Mapping[str, int]"):
+        """Dequeue the next runnable job, or ``None``.
+
+        ``running`` maps tenant -> currently executing job count; tenants
+        at their running quota are skipped (their jobs stay queued, in
+        order).  Among eligible jobs: highest priority first, then global
+        arrival order -- which preserves FIFO within any one tenant and
+        priority class.
+        """
+        best_idx = -1
+        best_key: "tuple[int, int] | None" = None
+        for idx, job in enumerate(self._waiting):
+            if running.get(job.tenant, 0) >= self.quotas.max_running_per_tenant:
+                continue
+            key = (-job.priority, job.seq)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = idx
+        if best_idx < 0:
+            return None
+        job = self._waiting.pop(best_idx)
+        self._queued_by_tenant[job.tenant] -= 1
+        return job
+
+    def remove(self, job_id: str):
+        """Remove a queued job by id (the DELETE path); returns it or None."""
+        for idx, job in enumerate(self._waiting):
+            if job.id == job_id:
+                self._waiting.pop(idx)
+                self._queued_by_tenant[job.tenant] -= 1
+                return job
+        return None

@@ -1,4 +1,4 @@
-"""CLI: live ANSI dashboard over a sweep's metrics directory.
+"""CLI: live ANSI dashboard over a sweep's metrics directory or service.
 
 ``repro.tools.paper`` and ``repro.tools.nas`` publish their sweep state
 (``sweep.json`` + ``metrics.om``) into ``--metrics-dir``; this tool tails
@@ -7,9 +7,18 @@ it from another terminal::
     python -m repro.tools.watch --metrics-dir out/metrics
     python -m repro.tools.watch --metrics-dir out/metrics --interval 0.5
 
+The analysis service (``repro.tools.serve``) publishes the same payload
+over HTTP; ``--url`` polls it instead of the filesystem, making this
+dashboard just one more service client::
+
+    python -m repro.tools.watch --url http://localhost:8080
+    python -m repro.tools.watch --url http://localhost:8080/v1/jobs/job-00000003/progress
+
 ``--once`` renders a single plain-ASCII snapshot to stdout and exits --
 no cursor control, no TTY required -- which is how CI smoke-tests the
-dashboard (and how scripts scrape a sweep's state).
+dashboard (and how scripts scrape a sweep's state).  It exits nonzero
+when no status is available *or* when the observed sweep finished with
+failed cells, so scripts can gate on a clean sweep.
 
 The renderer is pure (payload dict in, text out), so the ``--live`` flag
 of the sweep CLIs reuses it in-process.
@@ -18,9 +27,13 @@ of the sweep CLIs reuses it in-process.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 import typing
+import urllib.error
+import urllib.parse
+import urllib.request
 
 from repro.metrics.progress import load_status
 
@@ -46,6 +59,30 @@ def _fmt_eta(seconds: float) -> str:
     return f"{seconds / 3600:.1f}h"
 
 
+def load_status_url(url: str) -> "dict[str, object] | None":
+    """Fetch a sweep.json-schema payload from a service progress URL.
+
+    A bare service URL (no ``/v1/`` path) is completed to the
+    service-level ``/v1/progress`` endpoint; a full per-job progress URL
+    is fetched as given.  Returns ``None`` when the service is
+    unreachable or answers with a non-JSON/non-200 response.
+    """
+    split = urllib.parse.urlsplit(url)
+    if not split.scheme:
+        url = "http://" + url
+        split = urllib.parse.urlsplit(url)
+    if split.path in ("", "/"):
+        url = url.rstrip("/") + "/v1/progress"
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            if resp.status != 200:
+                return None
+            return json.loads(resp.read().decode("utf-8"))
+    except (OSError, urllib.error.URLError, json.JSONDecodeError,
+            ValueError):
+        return None
+
+
 def render_status(payload: "dict[str, object] | None") -> str:
     """Render one dashboard frame from a ``sweep.json`` payload."""
     if payload is None:
@@ -53,6 +90,7 @@ def render_status(payload: "dict[str, object] | None") -> str:
     total = int(typing.cast(int, payload.get("total", 0)))
     done = int(typing.cast(int, payload.get("done", 0)))
     cached = int(typing.cast(int, payload.get("cached", 0)))
+    failed = int(typing.cast(int, payload.get("failed", 0)))
     queued = int(typing.cast(int, payload.get("queued", total - done)))
     frac = done / total if total else 0.0
     finished = bool(payload.get("finished"))
@@ -62,7 +100,8 @@ def render_status(payload: "dict[str, object] | None") -> str:
         f"  [{_bar(frac)}] {done}/{total} tasks ({frac * 100:.0f}%)",
         f"  queued {queued}   cached {cached} "
         f"({float(typing.cast(float, payload.get('cache_ratio', 0.0))) * 100:.0f}% hit)"
-        f"   jobs {payload.get('jobs', 1)}",
+        + (f"   failed {failed}" if failed else "")
+        + f"   jobs {payload.get('jobs', 1)}",
         f"  elapsed {float(typing.cast(float, payload.get('elapsed_s', 0.0))):.1f}s"
         f"   avg task {float(typing.cast(float, payload.get('avg_task_s', 0.0))):.3f}s"
         f"   worker util "
@@ -96,11 +135,18 @@ def make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--metrics-dir", default=".",
                         help="directory a sweep publishes sweep.json into")
+    parser.add_argument("--url", default=None,
+                        help="poll an analysis service's progress endpoint "
+                        "instead of a directory (a bare http://host:port "
+                        "is completed to /v1/progress; a per-job progress "
+                        "URL works too)")
     parser.add_argument("--interval", type=float, default=1.0,
                         help="refresh period in seconds (live mode)")
     parser.add_argument("--once", action="store_true",
                         help="print one plain snapshot to stdout and exit "
-                        "(no TTY/ANSI; CI-friendly)")
+                        "(no TTY/ANSI; CI-friendly); exits nonzero when no "
+                        "status exists or the sweep finished with failed "
+                        "cells")
     parser.add_argument("--timeout", type=float, default=None,
                         help="live mode: give up after this many seconds "
                         "without the sweep finishing")
@@ -109,20 +155,32 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+
+    def load() -> "dict[str, object] | None":
+        if args.url is not None:
+            return load_status_url(args.url)
+        return load_status(args.metrics_dir)
+
     if args.once:
-        payload = load_status(args.metrics_dir)
+        payload = load()
         print(render_status(payload))
-        return 0 if payload is not None else 1
+        if payload is None:
+            return 1
+        if payload.get("finished") and int(
+                typing.cast(int, payload.get("failed", 0))):
+            return 1
+        return 0
 
     renderer = LiveRenderer()
     deadline = (time.monotonic() + args.timeout
                 if args.timeout is not None else None)
     try:
         while True:
-            payload = load_status(args.metrics_dir)
+            payload = load()
             renderer.update(payload)
             if payload is not None and payload.get("finished"):
-                return 0
+                failed = int(typing.cast(int, payload.get("failed", 0)))
+                return 1 if failed else 0
             if deadline is not None and time.monotonic() > deadline:
                 print("watch: timeout before the sweep finished",
                       file=sys.stderr)

@@ -320,3 +320,207 @@ def test_failed_cells_are_not_cached(tmp_path):
     second = run_tasks(tasks, cache=again, on_error="continue")
     assert second[0] == 10 and isinstance(second[1], FailedTask)
     assert again.hits == 1  # only the good cell was cached; the bad re-ran
+
+
+# ---------------------------------------------------------------------------
+# Bounded ResultCache: LRU eviction, recency, counters
+# ---------------------------------------------------------------------------
+def _keys(n):
+    return [content_key(_square, (i,), {}) for i in range(n)]
+
+
+def test_cache_unbounded_by_default(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.bounded is False
+    for i, key in enumerate(_keys(50)):
+        cache.put(key, i)
+    assert cache.evictions == 0
+    for i, key in enumerate(_keys(50)):
+        assert cache.get(key) == (True, i)
+
+
+def test_cache_max_entries_evicts_least_recently_used(tmp_path):
+    cache = ResultCache(tmp_path / "cache", max_entries=3)
+    k = _keys(5)
+    for i in range(4):
+        cache.put(k[i], i)
+    # k0 was the oldest write -> gone; k1..k3 remain.
+    assert cache.get(k[0])[0] is False
+    assert cache.get(k[1]) == (True, 1)
+    assert cache.evictions == 1
+    # The k1 hit refreshed its recency, so the next eviction takes k2.
+    cache.put(k[4], 4)
+    assert cache.get(k[2])[0] is False
+    assert cache.get(k[1]) == (True, 1)
+    assert cache.get(k[4]) == (True, 4)
+    assert cache.evictions == 2
+
+
+def test_cache_max_bytes_evicts_until_under_budget(tmp_path):
+    k = _keys(3)
+    probe = ResultCache(tmp_path / "cache")
+    probe.put(k[0], 0)
+    size = os.stat(probe._path(k[0])).st_size  # all three values pickle equal-sized
+
+    cache = ResultCache(tmp_path / "cache", max_bytes=2 * size)
+    cache.put(k[1], 1)
+    assert cache.evictions == 0  # two entries fit exactly
+    cache.put(k[2], 2)           # third pushes over budget -> k0 evicted
+    assert cache.evictions == 1
+    assert cache.get(k[0])[0] is False
+    assert cache.get(k[1]) == (True, 1)
+    assert cache.get(k[2]) == (True, 2)
+
+
+def test_cache_max_bytes_strictly_bounds_even_a_lone_entry(tmp_path):
+    """An entry larger than the whole byte budget is not retained: the
+    bound is a hard ceiling, equivalent to 'too big to cache'."""
+    cache = ResultCache(tmp_path / "cache", max_bytes=1)
+    key = _keys(1)[0]
+    cache.put(key, 0)
+    assert cache.get(key)[0] is False
+    assert cache.evictions == 1
+
+
+def test_cache_bound_applies_to_preexisting_entries(tmp_path):
+    """A bounded cache opened over an existing store evicts the entries
+    a previous (unbounded) writer left, oldest mtime first."""
+    import time as _time
+
+    old = ResultCache(tmp_path / "cache")
+    k = _keys(4)
+    for i in range(3):
+        old.put(k[i], i)
+        _time.sleep(0.01)  # distinct mtimes seed the recency order
+
+    bounded = ResultCache(tmp_path / "cache", max_entries=2)
+    bounded.put(k[3], 3)  # 4 entries on disk, bound is 2 -> evict k0, k1
+    assert bounded.evictions == 2
+    assert bounded.get(k[0])[0] is False and bounded.get(k[1])[0] is False
+    assert bounded.get(k[2]) == (True, 2)
+    assert bounded.get(k[3]) == (True, 3)
+
+
+def test_cache_metrics_counters(tmp_path):
+    from repro.metrics import MetricsRegistry, render_openmetrics
+
+    registry = MetricsRegistry()
+    cache = ResultCache(tmp_path / "cache", max_entries=1, metrics=registry)
+    k = _keys(2)
+    cache.get(k[0])          # miss
+    cache.put(k[0], 0)
+    cache.get(k[0])          # hit
+    cache.put(k[1], 1)       # evicts k0
+    text = render_openmetrics(registry)
+    assert 'repro_cache_lookups_total{outcome="hit"} 1' in text
+    assert 'repro_cache_lookups_total{outcome="miss"} 1' in text
+    assert "repro_cache_evictions_total 1" in text
+    assert (cache.hits, cache.misses, cache.evictions) == (1, 1, 1)
+
+
+def test_bounded_cache_with_run_tasks_keeps_results_exact(tmp_path):
+    cache = ResultCache(tmp_path / "cache", max_entries=2)
+    tasks = [Task(_square, (i,)) for i in range(6)]
+    assert run_tasks(tasks, cache=cache) == [i * i for i in range(6)]
+    # Evictions happened, but a rerun still computes correct values.
+    assert cache.evictions == 4
+    rerun = ResultCache(tmp_path / "cache", max_entries=2)
+    assert run_tasks(tasks, cache=rerun) == [i * i for i in range(6)]
+
+
+# ---------------------------------------------------------------------------
+# Cooperative cancellation
+# ---------------------------------------------------------------------------
+class _CancelAfter:
+    """Duck-typed cancel token: fires after N is_set() polls."""
+
+    def __init__(self, after):
+        self.after = after
+        self.polls = 0
+
+    def is_set(self):
+        self.polls += 1
+        return self.polls > self.after
+
+
+def _sleep_then_square(x):
+    import time as _time
+
+    _time.sleep(x)
+    return x * x
+
+
+def test_cancel_serial_raise_raises_sweep_cancelled():
+    from repro.experiments.runner import SweepCancelled
+
+    with pytest.raises(SweepCancelled, match="cancelled after 1 of 3"):
+        run_tasks([Task(_square, (i,)) for i in range(3)],
+                  cancel=_CancelAfter(1))
+
+
+def test_cancel_serial_continue_marks_remaining_cells():
+    from repro.experiments.runner import FailedTask
+
+    out = run_tasks([Task(_square, (i,)) for i in range(4)],
+                    on_error="continue", cancel=_CancelAfter(2))
+    assert out[0] == 0 and out[1] == 1
+    for value in out[2:]:
+        assert isinstance(value, FailedTask)
+        assert value.cancelled is True and value.error == "cancelled"
+
+
+def test_cancel_pool_path_raises_sweep_cancelled():
+    import threading
+
+    from repro.experiments.runner import SweepCancelled
+
+    event = threading.Event()
+    event.set()
+    with pytest.raises(SweepCancelled):
+        run_tasks([Task(_square, (i,)) for i in range(4)], jobs=2,
+                  cancel=event)
+
+
+def test_cancel_isolated_terminates_inflight_workers():
+    import threading
+    import time as _time
+
+    from repro.experiments.runner import FailedTask
+
+    event = threading.Event()
+    timer = threading.Timer(0.3, event.set)
+    timer.start()
+    t0 = _time.monotonic()
+    out = run_tasks([Task(_sleep_then_square, (30.0,)) for _ in range(3)],
+                    jobs=2, on_error="continue", isolate=True, cancel=event)
+    elapsed = _time.monotonic() - t0
+    timer.cancel()
+    # Far less than the 30 s a task sleeps: in-flight workers were
+    # terminated, queued tasks never started.
+    assert elapsed < 10.0
+    assert all(isinstance(v, FailedTask) and v.cancelled for v in out)
+
+
+def test_cancelled_cells_are_not_cached(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    run_tasks([Task(_square, (i,)) for i in range(4)],
+              on_error="continue", cache=cache, cancel=_CancelAfter(2))
+    rerun = ResultCache(tmp_path / "cache")
+    out = run_tasks([Task(_square, (i,)) for i in range(4)], cache=rerun)
+    assert out == [0, 1, 4, 9]
+    assert rerun.hits == 2  # only the two completed cells were cached
+
+
+def test_isolate_requires_on_error_continue():
+    with pytest.raises(ValueError, match="isolate"):
+        run_tasks([Task(_square, (1,))], isolate=True)
+
+
+def test_isolate_runs_single_task_out_of_process():
+    from repro.experiments.runner import FailedTask
+
+    # A single hard-exiting task with isolate=True must not take the
+    # caller down -- even without a pool (jobs=1).
+    out = run_tasks([Task(_hard_exit, (1,))], jobs=1, on_error="continue",
+                    isolate=True)
+    assert isinstance(out[0], FailedTask) and out[0].exitcode == 42

@@ -1,0 +1,357 @@
+"""End-to-end tests for the overlap-analysis job service.
+
+Everything here talks to a *real* asyncio HTTP server on a loopback
+port (no mocked transport): submissions, polling, paged and streamed
+results, cancellation, quotas, metrics, and the differential guarantee
+that a job submitted over HTTP returns reports byte-identical to the
+same configuration run through the CLI worker.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.service import (
+    OverlapService,
+    QuotaConfig,
+    ServiceClient,
+    ServerThread,
+)
+from repro.tools import watch
+
+#: The tiny LU cell used throughout: one simulation, two ranks.
+LU_SPEC = {"tenant": "t1", "kind": "nas", "benchmark": "lu",
+           "klass": "S", "np": 2, "niter": 1}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    service = OverlapService(cache_root=tmp_path / "cache", workers=2,
+                             metrics_dir=tmp_path / "metrics")
+    with ServerThread(service) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(server.url) as c:
+        yield c
+
+
+def _canon(obj) -> str:
+    return json.dumps(obj, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Basic lifecycle over HTTP
+# ---------------------------------------------------------------------------
+def test_healthz_and_unknown_routes(client):
+    health = client.healthz()
+    assert health.status == 200
+    assert health.body["ok"] is True
+    assert health.body["workers"] == 2
+    assert client.request("GET", "/nope").status == 404
+    assert client.request("PUT", "/v1/jobs").status == 405
+    assert client.request("GET", "/v1/jobs/job-99999999").status == 404
+
+
+def test_submit_poll_result_and_warm_resubmit(client):
+    sub = client.submit(LU_SPEC)
+    assert sub.status == 202
+    assert sub.body["state"] in ("queued", "running")
+    job_id = sub.body["job_id"]
+
+    final = client.wait(job_id, timeout=120.0)
+    assert final.body["state"] == "done"
+    assert final.body["cached"] is False
+
+    result = client.result(job_id)
+    assert result.status == 200
+    assert result.body["total_rows"] == 1
+    rows = result.body["rows"]
+    assert rows[0]["label"] == "lu.S.2"
+    assert len(rows[0]["reports"]) == 2  # one per rank
+
+    # Identical resubmission: answered from cache in the same round trip.
+    warm = client.submit(LU_SPEC)
+    assert warm.status == 200
+    assert warm.body["state"] == "done"
+    assert warm.body["cached"] is True
+    warm_rows = client.result(warm.body["job_id"]).body["rows"]
+    assert _canon(warm_rows) == _canon(rows)
+
+    # Another tenant asking the same question also hits the cache.
+    other = client.submit({**LU_SPEC, "tenant": "someone-else"})
+    assert other.status == 200 and other.body["cached"] is True
+
+
+def test_result_paging_and_streaming(client):
+    spec = {**LU_SPEC, "np": [2, 4]}
+    sub, final = client.submit_and_wait(spec, timeout=120.0)
+    assert final.body["state"] == "done"
+    job_id = final.body["job_id"]
+
+    full = client.result(job_id)
+    assert full.body["total_rows"] == 2
+    page0 = client.result(job_id, offset=0, limit=1)
+    page1 = client.result(job_id, offset=1, limit=1)
+    assert page0.body["rows"][0] == full.body["rows"][0]
+    assert page1.body["rows"][0] == full.body["rows"][1]
+    assert page1.body["offset"] == 1
+
+    streamed = client.stream_result(job_id)
+    assert streamed[0]["total_rows"] == 2
+    assert _canon(streamed[1:]) == _canon(full.body["rows"])
+
+
+def test_result_before_completion_is_409(tmp_path):
+    # No workers started: the job stays queued forever.
+    service = OverlapService(cache_root=tmp_path / "c", workers=1)
+    status, body = service.submit(LU_SPEC)
+    assert status == 202
+    code, payload = service.job_result(body["job_id"])
+    assert code == 409
+    assert payload["state"] == "queued"
+
+
+def test_invalid_submissions_are_400(client):
+    for bad in (
+        {"kind": "nope"},
+        {"kind": "nas", "benchmark": "nope"},
+        {"kind": "nas", "benchmark": "lu", "np": 0},
+        {"kind": "nas", "benchmark": "lu", "faults": "garbage=42"},
+        {"kind": "nas", "benchmark": "mg", "shards": 2},
+        {"kind": "nas", "benchmark": "lu", "faults": "drop=0.1", "shards": 2},
+        {"kind": "micro", "pattern": "sendrecv"},
+        [1, 2, 3],
+    ):
+        resp = client.submit(bad)
+        assert resp.status == 400, bad
+        assert "error" in resp.body
+
+
+def test_quota_exhaustion_returns_429_with_retry_after(tmp_path):
+    service = OverlapService(
+        cache_root=tmp_path / "c", workers=1,
+        quotas=QuotaConfig(max_queued_per_tenant=0))
+    with ServerThread(service) as srv, ServiceClient(srv.url) as c:
+        resp = c.submit(LU_SPEC)
+        assert resp.status == 429
+        assert "retry_after" in resp.body
+        retry_after = resp.headers.get("Retry-After")
+        assert retry_after is not None and int(retry_after) >= 1
+
+
+def test_cancel_queued_job(tmp_path):
+    # Single worker; keep it busy so the second job is reliably queued.
+    service = OverlapService(cache_root=tmp_path / "c", workers=1)
+    with ServerThread(service) as srv, ServiceClient(srv.url) as c:
+        first = c.submit(LU_SPEC)
+        assert first.status == 202
+        second = c.submit({**LU_SPEC, "np": 4})  # distinct -> own execution
+        assert second.status == 202
+        cancelled = c.cancel(second.body["job_id"])
+        assert cancelled.status == 200
+        assert cancelled.body["state"] == "cancelled"
+        # Result of a cancelled job is whatever was recorded: not ready.
+        code = c.result(second.body["job_id"]).status
+        assert code in (200, 409)
+        # The first job is unaffected.
+        assert c.wait(first.body["job_id"], timeout=120.0).body["state"] == "done"
+        # Cancelling a finished job is a conflict.
+        assert c.cancel(first.body["job_id"]).status == 409
+
+
+def test_single_flight_dedupe_over_http(tmp_path):
+    from repro.experiments.runner import Task
+    from repro.service.jobs import Submission
+
+    service = OverlapService(cache_root=tmp_path / "c", workers=1)
+    with ServerThread(service) as srv, ServiceClient(srv.url) as c:
+        # Park the only worker on a synthetic blocker so the two HTTP
+        # submissions below deterministically meet in the queue.
+        blocker = Submission(tenant="blk", kind="nas", priority=0,
+                             label="blocker", spec={})
+        service.submit_tasks(blocker, [Task(_sleep_worker, (0.8,))])
+
+        spec = {**LU_SPEC, "klass": "S", "np": 4, "niter": 2}
+        first = c.submit(spec)
+        assert first.status == 202
+        twin = c.submit({**spec, "tenant": "tenant-b"})
+        assert twin.status == 202
+        assert twin.body["deduped"] is True
+        assert twin.body["primary_job_id"] == first.body["job_id"]
+
+        a = c.wait(first.body["job_id"], timeout=120.0)
+        b = c.wait(twin.body["job_id"], timeout=120.0)
+        assert a.body["state"] == b.body["state"] == "done"
+        rows_a = c.result(first.body["job_id"]).body["rows"]
+        rows_b = c.result(twin.body["job_id"]).body["rows"]
+        assert _canon(rows_a) == _canon(rows_b)
+        # One execution, two answers: the service-side row objects are
+        # literally shared.
+        job_a = service.jobs[first.body["job_id"]]
+        job_b = service.jobs[twin.body["job_id"]]
+        assert job_a.rows() is job_b.rows()
+
+
+def test_progress_endpoints_and_watch_url(server, client):
+    sub, final = client.submit_and_wait(LU_SPEC, timeout=120.0)
+    job_id = final.body["job_id"]
+
+    service_progress = client.progress()
+    assert service_progress.status == 200
+    assert service_progress.body["done"] >= 1
+
+    job_progress = client.progress(job_id)
+    assert job_progress.status == 200
+    assert job_progress.body["state"] == "done"
+
+    # The dashboard is just another client of those endpoints.
+    assert watch.main(["--once", "--url", server.url]) == 0
+    assert watch.main(
+        ["--once", "--url", f"{server.url}/v1/jobs/{job_id}/progress"]) == 0
+    # And the on-disk artifacts double as a watchable metrics dir.
+    assert watch.main(
+        ["--once", "--metrics-dir",
+         f"{server.service.metrics_dir}/{job_id}"]) == 0
+
+
+def test_metrics_endpoint_exposes_service_counters(client):
+    client.submit_and_wait(LU_SPEC, timeout=120.0)
+    client.submit(LU_SPEC)  # warm hit
+    text = client.metrics_text()
+    assert 'repro_service_submissions_total{outcome="queued"} 1' in text
+    assert 'repro_service_submissions_total{outcome="cache_hit"} 1' in text
+    assert "repro_cache_lookups" in text
+    assert "repro_service_job_seconds" in text
+
+
+def test_job_listing_filters_by_tenant(client):
+    client.submit_and_wait(LU_SPEC, timeout=120.0)
+    client.submit({**LU_SPEC, "tenant": "zz-other"})
+    all_jobs = client.request("GET", "/v1/jobs")
+    assert all_jobs.body["count"] == 2
+    mine = client.request("GET", "/v1/jobs?tenant=zz-other")
+    assert mine.body["count"] == 1
+    assert mine.body["jobs"][0]["tenant"] == "zz-other"
+
+
+# ---------------------------------------------------------------------------
+# The differential guarantee: HTTP result == CLI result, byte for byte
+# ---------------------------------------------------------------------------
+def _direct_cell(**overrides):
+    """Run the CLI worker in-process with the CLI's exact defaults."""
+    from repro.tools.nas import _run_cell
+
+    args = dict(benchmark="lu", klass="S", nprocs=2, niter=1,
+                library="paper", modified=False, nonblocking=False,
+                emit_metrics=False, faults=None, fault_seed=0,
+                shards=None, shard_sync="window")
+    args.update(overrides)
+    return _run_cell(*args.values())
+
+
+@pytest.mark.parametrize("spec,overrides", [
+    # Plain cell.
+    ({"kind": "nas", "benchmark": "lu", "klass": "S", "np": 2, "niter": 1},
+     {}),
+    # With a fault plan (seeded: deterministic).
+    ({"kind": "nas", "benchmark": "lu", "klass": "S", "np": 2, "niter": 1,
+      "faults": "drop=0.05,dup=0.02", "fault_seed": 5, "library": "openmpi"},
+     {"faults": "drop=0.05,dup=0.02", "fault_seed": 5, "library": "openmpi"}),
+    # On the sharded parallel-DES engine.
+    ({"kind": "nas", "benchmark": "lu", "klass": "S", "np": 4, "niter": 1,
+      "shards": 2},
+     {"nprocs": 4, "shards": 2}),
+])
+def test_http_result_byte_identical_to_cli(client, spec, overrides):
+    expected = _direct_cell(**overrides)
+    sub, final = client.submit_and_wait({"tenant": "diff", **spec},
+                                        timeout=300.0)
+    assert final.body["state"] == "done"
+    rows = client.result(final.body["job_id"]).body["rows"]
+    assert len(rows) == 1
+    # Both sides through the same canonical JSON: byte-identical reports,
+    # including every float (json round-trips Python floats exactly).
+    assert _canon(rows[0]) == _canon(expected)
+
+
+def test_micro_job_matches_direct_sweep(client):
+    from repro.experiments.runner import _sweep_point
+    from repro.mpisim.config import mvapich2_like
+
+    spec = {"kind": "micro", "pattern": "isend_irecv", "nbytes": 4096,
+            "computes": [0.0, 5e-5], "iters": 4, "warmup": 1}
+    sub, final = client.submit_and_wait(spec, timeout=120.0)
+    assert final.body["state"] == "done"
+    rows = client.result(final.body["job_id"]).body["rows"]
+    assert len(rows) == 2
+    direct = [
+        _sweep_point("isend_irecv", 4096.0, c, mvapich2_like(), None, None,
+                     4, 1)
+        for c in (0.0, 5e-5)
+    ]
+    # Tuples become JSON arrays; compare through the same canonical form.
+    assert _canon(rows) == _canon(direct)
+
+
+# ---------------------------------------------------------------------------
+# Crash isolation at the service boundary
+# ---------------------------------------------------------------------------
+def test_failed_cell_fails_only_its_own_job(tmp_path):
+    """A job whose worker dies reports failure; the service and every
+    other job keep going (the crash-isolated runner path)."""
+    from repro.experiments.runner import Task
+    from repro.service.jobs import Submission
+
+    service = OverlapService(cache_root=tmp_path / "c", workers=2)
+    service.start()
+    try:
+        bad = Submission(tenant="t", kind="nas", priority=0,
+                         label="bad", spec={})
+        good = Submission(tenant="t", kind="nas", priority=0,
+                          label="good", spec={})
+        s1, b1 = service.submit_tasks(bad, [Task(_crash_worker, (0,))])
+        s2, b2 = service.submit_tasks(good, [Task(_ok_worker, (21,))])
+        assert s1 == s2 == 202
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            states = {service.jobs[b1["job_id"]].state,
+                      service.jobs[b2["job_id"]].state}
+            if states <= {"done", "failed"}:
+                break
+            time.sleep(0.02)
+        assert service.jobs[b1["job_id"]].state == "failed"
+        assert service.jobs[b2["job_id"]].state == "done"
+        code, result = service.job_result(b1["job_id"])
+        assert code == 200
+        assert result["rows"][0]["failed"] is True
+        assert result["rows"][0]["exitcode"] == 33
+        code, result = service.job_result(b2["job_id"])
+        assert result["rows"] == [42]
+        # Failed cells are never cached: resubmitting retries.
+        s3, b3 = service.submit_tasks(bad, [Task(_crash_worker, (0,))])
+        assert s3 == 202 and b3["cached"] is False
+    finally:
+        service.shutdown()
+
+
+def _crash_worker(x):  # pragma: no cover - runs in a child process
+    import os
+
+    os._exit(33)
+
+
+def _ok_worker(x):
+    return x * 2
+
+
+def _sleep_worker(seconds):
+    import time as _time
+
+    _time.sleep(seconds)
+    return "slept"

@@ -1,0 +1,296 @@
+"""Property tests for the service's scheduling and dedupe semantics.
+
+:class:`~repro.service.queue.TenantQueue` is deliberately a plain data
+structure (no threads, no sockets), so hypothesis can drive it through
+arbitrary interleavings of submissions and dispatches and check the
+scheduling contract directly:
+
+* per-tenant FIFO within a priority class, under any interleaving;
+* strict priority order among eligible jobs;
+* queued and running quotas are never exceeded;
+* admission control (`check`) exactly predicts whether a push would
+  break a quota.
+
+The second half drives :class:`~repro.service.core.OverlapService` with
+synthetic tasks (module-level workers, as the runner requires) to pin
+the single-flight and crash-isolation guarantees end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import OverlapService, QuotaConfig, TenantQueue
+from repro.service.jobs import Submission, job_content_key
+
+TENANTS = ("alice", "bob", "carol")
+
+
+@dataclasses.dataclass
+class FakeJob:
+    id: str
+    tenant: str
+    priority: int
+    seq: int = 0
+
+
+# One scripted step: either a submission or a dispatch attempt.
+submissions = st.tuples(st.sampled_from(TENANTS), st.integers(0, 3))
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), submissions),
+        st.tuples(st.just("pop"), st.just(None)),
+        st.tuples(st.just("finish"), st.just(None)),
+    ),
+    max_size=120,
+)
+quota_configs = st.builds(
+    QuotaConfig,
+    max_queued_per_tenant=st.integers(0, 6),
+    max_running_per_tenant=st.integers(1, 3),
+    max_queued_total=st.integers(1, 12),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=steps, quotas=quota_configs)
+def test_queue_invariants_under_arbitrary_interleaving(steps, quotas):
+    queue = TenantQueue(quotas)
+    running: "dict[str, int]" = {}
+    running_jobs: "list[FakeJob]" = []
+    started: "list[FakeJob]" = []
+    n = 0
+
+    for op, arg in steps:
+        if op == "push":
+            tenant, priority = arg
+            admission = queue.check(tenant)
+            # `check` must exactly predict quota state.
+            assert admission.ok == (
+                len(queue) < quotas.max_queued_total
+                and queue.queued_for(tenant) < quotas.max_queued_per_tenant
+            )
+            if not admission.ok:
+                assert admission.reason
+                assert admission.retry_after > 0
+                continue
+            n += 1
+            queue.push(FakeJob(id=f"j{n}", tenant=tenant, priority=priority))
+        elif op == "pop":
+            job = queue.pop_next(running)
+            if job is None:
+                # Correct refusal: everything queued is quota-blocked.
+                assert all(
+                    running.get(j.tenant, 0) >= quotas.max_running_per_tenant
+                    for j in queue._waiting
+                )
+                continue
+            # Quota respected at the moment of dispatch.
+            assert running.get(job.tenant, 0) < quotas.max_running_per_tenant
+            # No eligible job with strictly higher priority was skipped.
+            for other in queue._waiting:
+                if running.get(other.tenant, 0) \
+                        < quotas.max_running_per_tenant:
+                    assert other.priority <= job.priority
+            running[job.tenant] = running.get(job.tenant, 0) + 1
+            running_jobs.append(job)
+            started.append(job)
+        else:  # finish the oldest running job
+            if running_jobs:
+                job = running_jobs.pop(0)
+                running[job.tenant] -= 1
+
+        # Global invariants after every step.
+        assert len(queue) <= quotas.max_queued_total
+        for tenant in TENANTS:
+            assert queue.queued_for(tenant) <= quotas.max_queued_per_tenant
+            assert running.get(tenant, 0) <= quotas.max_running_per_tenant
+        # Bookkeeping agrees with the ground truth.
+        assert len(queue) == sum(
+            queue.queued_for(t) for t in TENANTS)
+
+    # Per-tenant FIFO within each priority class: for any one tenant and
+    # priority, jobs started in submission (seq) order.
+    for tenant in TENANTS:
+        for priority in range(4):
+            seqs = [j.seq for j in started
+                    if j.tenant == tenant and j.priority == priority]
+            assert seqs == sorted(seqs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(steps=steps)
+def test_queue_drains_completely_in_priority_order(steps):
+    """With no running jobs, draining the whole queue yields strict
+    (priority desc, seq asc) order regardless of submission pattern."""
+    queue = TenantQueue(QuotaConfig(max_queued_per_tenant=1000,
+                                    max_queued_total=1000))
+    n = 0
+    for op, arg in steps:
+        if op != "push":
+            continue
+        tenant, priority = arg
+        n += 1
+        queue.push(FakeJob(id=f"j{n}", tenant=tenant, priority=priority))
+    drained = []
+    while True:
+        job = queue.pop_next({})
+        if job is None:
+            break
+        drained.append(job)
+    assert len(drained) == n and len(queue) == 0
+    keys = [(-j.priority, j.seq) for j in drained]
+    assert keys == sorted(keys)
+
+
+def test_remove_keeps_tenant_accounting():
+    queue = TenantQueue()
+    a = FakeJob(id="a", tenant="t", priority=0)
+    b = FakeJob(id="b", tenant="t", priority=0)
+    queue.push(a)
+    queue.push(b)
+    assert queue.remove("a") is a
+    assert queue.remove("a") is None
+    assert queue.queued_for("t") == 1 and len(queue) == 1
+    assert queue.pop_next({}) is b
+    assert queue.tenants() == []
+
+
+# ---------------------------------------------------------------------------
+# Service-level properties, driven with synthetic tasks
+# ---------------------------------------------------------------------------
+def _value_worker(tag, duration):
+    import time as _time
+
+    if duration:
+        _time.sleep(duration)
+    return {"tag": tag}
+
+
+def _crasher(tag):  # pragma: no cover - runs in a child process
+    import os
+
+    os._exit(41)
+
+
+def _sub(tenant: str, label: str) -> Submission:
+    return Submission(tenant=tenant, kind="nas", priority=0,
+                      label=label, spec={})
+
+
+def _wait_all(service: OverlapService, job_ids, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        states = {service.jobs[j].state for j in job_ids}
+        if states <= {"done", "failed", "cancelled"}:
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"jobs did not settle: "
+        f"{ {j: service.jobs[j].state for j in job_ids} }")
+
+
+def test_single_flight_returns_the_same_rows_object_to_all_waiters(tmp_path):
+    """N concurrent identical submissions -> one execution, and every
+    waiter reads literally the same result rows list."""
+    from repro.experiments.runner import Task
+
+    service = OverlapService(cache_root=tmp_path / "c", workers=1)
+    # Hold the only worker so the identical submissions below pile up
+    # behind one queued execution deterministically.
+    blocker = service.submit_tasks(
+        _sub("blk", "blocker"), [Task(_value_worker, ("blocker", 0.5))])
+    service.start()
+
+    tasks = lambda: [Task(_value_worker, ("shared", 0.0))]  # noqa: E731
+    ids = []
+    for n in range(6):
+        status, body = service.submit_tasks(
+            _sub(f"tenant-{n % 3}", "shared"), tasks())
+        assert status == 202
+        assert body["deduped"] is (n > 0)
+        ids.append(body["job_id"])
+    # All six share one execution.
+    executions = {id(service.jobs[j].execution) for j in ids}
+    assert len(executions) == 1
+
+    _wait_all(service, ids + [blocker[1]["job_id"]])
+    rows = [service.jobs[j].rows() for j in ids]
+    assert all(r is rows[0] for r in rows)
+    assert rows[0] == [{"tag": "shared"}]
+    # The dashboard saw 7 finished jobs (blocker + 6 waiters) but only
+    # two real executions: the 5 dedupe followers count as cached.
+    assert service.progress.done == 7
+    assert service.progress.cached == 5
+    service.shutdown()
+
+
+def test_dedupe_window_closes_after_completion(tmp_path):
+    """After the execution finishes, an identical submission is a cache
+    hit (200), not a dedupe waiter -- the single-flight window is exactly
+    the execution's lifetime."""
+    from repro.experiments.runner import Task
+
+    service = OverlapService(cache_root=tmp_path / "c", workers=1)
+    service.start()
+    status, body = service.submit_tasks(
+        _sub("a", "x"), [Task(_value_worker, ("x", 0.0))])
+    assert status == 202
+    _wait_all(service, [body["job_id"]])
+    status2, body2 = service.submit_tasks(
+        _sub("b", "x"), [Task(_value_worker, ("x", 0.0))])
+    assert status2 == 200
+    assert body2["cached"] is True
+    assert service.jobs[body2["job_id"]].rows() == [{"tag": "x"}]
+    service.shutdown()
+
+
+def test_crash_fails_only_the_crashing_job(tmp_path):
+    """Property: among a batch of jobs where some workers die, exactly
+    the crashing jobs fail; every other job completes with its value."""
+    from repro.experiments.runner import Task
+
+    service = OverlapService(cache_root=tmp_path / "c", workers=3)
+    service.start()
+    expect: "dict[str, str]" = {}
+    for n in range(8):
+        crash = n % 3 == 0
+        if crash:
+            tasks = [Task(_crasher, (f"c{n}",))]
+        else:
+            tasks = [Task(_value_worker, (f"v{n}", 0.0))]
+        status, body = service.submit_tasks(
+            _sub(f"t{n % 2}", f"job{n}"), tasks)
+        assert status == 202
+        expect[body["job_id"]] = "failed" if crash else "done"
+    _wait_all(service, list(expect))
+    for job_id, want in expect.items():
+        assert service.jobs[job_id].state == want, job_id
+        rows = service.jobs[job_id].rows()
+        if want == "failed":
+            assert rows[0]["failed"] is True and rows[0]["exitcode"] == 41
+        else:
+            assert rows == [{"tag": rows[0]["tag"]}]
+    # The service survived: a fresh job still runs to completion.
+    status, body = service.submit_tasks(
+        _sub("after", "after"), [Task(_value_worker, ("after", 0.0))])
+    _wait_all(service, [body["job_id"]])
+    assert service.jobs[body["job_id"]].state == "done"
+    service.shutdown()
+
+
+def test_job_content_key_is_order_and_content_sensitive():
+    from repro.experiments.runner import Task
+
+    t1 = [Task(_value_worker, ("a", 0.0)), Task(_value_worker, ("b", 0.0))]
+    t2 = [Task(_value_worker, ("b", 0.0)), Task(_value_worker, ("a", 0.0))]
+    t3 = [Task(_value_worker, ("a", 0.0)), Task(_value_worker, ("b", 0.1))]
+    k1 = job_content_key("nas", t1)
+    assert k1 == job_content_key("nas", list(t1))
+    assert k1 != job_content_key("micro", t1)
+    assert k1 != job_content_key("nas", t2)
+    assert k1 != job_content_key("nas", t3)

@@ -36,6 +36,7 @@ CHECKS = (
     ("full_stack_lu", "mean_s", "lower"),
     ("shard_scale", "events_per_s_x1", "higher"),
     ("shard_scale", "speedup_x4", "higher"),
+    ("tracing_overhead_lu", "paired_ratio_median", "lower"),
     ("service_load", "submissions_per_s", "higher"),
     ("service_load", "served_hot_ratio", "higher"),
     ("service_load", "warm_hit_p50_ms", "lower"),

@@ -41,6 +41,8 @@ import time
 import traceback
 import typing
 
+from repro.tracing.span import Tracer, use_tracer
+
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.metrics import SweepProgress
 
@@ -439,16 +441,45 @@ def _run_task_failsafe(task: Task) -> "tuple[float, object]":
     return time.perf_counter() - t0, value
 
 
-def _run_task_piped(task: Task, conn) -> None:
-    """Child-process entry point: run one task, ship the result home."""
-    dur, value = _run_task_failsafe(task)
+def _run_task_piped(task: Task, conn, trace_wire: "dict | None" = None) -> None:
+    """Child-process entry point: run one task, ship the result home.
+
+    With ``trace_wire`` (a :meth:`Tracer.child_wire` dict) the child
+    joins the parent's trace: it records a ``runner.task`` span around
+    the cell, installs the tracer ambiently (so ``run_app`` deep inside
+    the cell can pick it up without a signature change -- task argument
+    tuples are content-hash cache keys), and ships its span payload home
+    as a third tuple element.
+    """
+    if trace_wire is None:
+        dur, value = _run_task_failsafe(task)
+        msg: tuple = (dur, value)
+    else:
+        tracer = Tracer.adopt(trace_wire)
+        with use_tracer(tracer):
+            with tracer.span(f"task {_task_name(task)}", "runner.task"):
+                dur, value = _run_task_failsafe(task)
+        msg = (dur, value, tracer.to_payload())
     try:
-        conn.send((dur, value))
+        conn.send(msg)
     except Exception as exc:  # e.g. an unpicklable result
         conn.send((dur, FailedTask(
             _task_name(task), f"result not picklable: {exc}")))
     finally:
         conn.close()
+
+
+def _run_task_timed_traced(item: "tuple[Task, dict]"
+                           ) -> "tuple[float, object, dict]":
+    """Pool worker entry point joining the parent's trace (see above)."""
+    task, trace_wire = item
+    tracer = Tracer.adopt(trace_wire)
+    with use_tracer(tracer):
+        with tracer.span(f"task {_task_name(task)}", "runner.task"):
+            t0 = time.perf_counter()
+            value = task.run()
+            dur = time.perf_counter() - t0
+    return dur, value, tracer.to_payload()
 
 
 def _progress_done(progress: "SweepProgress | None", dur: float,
@@ -467,6 +498,7 @@ def _run_pending_resilient(
     jobs: int,
     progress: "SweepProgress | None",
     cancel: "typing.Any | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> "list[tuple[float, object]]":
     """Fan tasks across one process *each* (at most ``jobs`` at a time).
 
@@ -518,8 +550,11 @@ def _run_pending_resilient(
                 # daemonic processes are forbidden to do.  The ``finally``
                 # below terminates + joins whatever is still in flight, so
                 # no path leaks a child.
+                wire = (tracer.child_wire(f"cell {_task_name(tasks[i])}")
+                        if tracer is not None else None)
                 proc = ctx.Process(
-                    target=_run_task_piped, args=(tasks[i], child_conn),
+                    target=_run_task_piped,
+                    args=(tasks[i], child_conn, wire),
                 )
                 proc.start()
                 child_conn.close()
@@ -533,7 +568,10 @@ def _run_pending_resilient(
             for conn in ready:
                 slot, i, proc, t0 = inflight.pop(conn)
                 try:
-                    dur, value = conn.recv()
+                    msg = conn.recv()
+                    dur, value = msg[0], msg[1]
+                    if tracer is not None and len(msg) > 2:
+                        tracer.absorb(msg[2])
                 except EOFError:
                     # The worker died before reporting.
                     proc.join()
@@ -567,6 +605,7 @@ def run_tasks(
     on_error: str = "raise",
     cancel: "typing.Any | None" = None,
     isolate: bool = False,
+    tracer: "Tracer | None" = None,
 ) -> list[object]:
     """Run ``tasks`` and return their results **in task order**.
 
@@ -613,6 +652,13 @@ def run_tasks(
     regardless of ``jobs``, cache state, pool reuse, or progress
     publication, because every task is an independent pure function and
     the pool uses ordered ``imap``.
+
+    ``tracer`` (optional :class:`~repro.tracing.Tracer`) records a
+    ``runner.cache`` span for the cache probe and one ``runner.task``
+    span per executed task; worker processes join the trace via a wire
+    context over the result pipe and their span payloads are absorbed,
+    so the merged timeline shows every cell on its own track.  Results
+    are bit-identical with and without a tracer.
     """
     if on_error not in ("raise", "continue"):
         raise ValueError(
@@ -629,6 +675,7 @@ def run_tasks(
         progress.start(len(tasks), jobs or 1)
 
     if cache is not None:
+        probe_t0 = tracer.now() if tracer is not None else 0.0
         for i, task in enumerate(tasks):
             key = keys[i] = task.key
             found, value = cache.get(key)
@@ -638,6 +685,11 @@ def run_tasks(
                     progress.task_done(0.0, cached=True, name=_task_name(task))
             else:
                 pending.append(i)
+        if tracer is not None:
+            tracer.add_span("cache probe", "runner.cache", probe_t0,
+                            tracer.now(),
+                            {"hits": len(tasks) - len(pending),
+                             "misses": len(pending)})
     else:
         pending = list(range(len(tasks)))
 
@@ -650,7 +702,8 @@ def run_tasks(
         jobs = 1
     if isolate:
         timed = _run_pending_resilient(
-            tasks, pending, max(1, min(jobs, len(pending))), progress, cancel
+            tasks, pending, max(1, min(jobs, len(pending))), progress, cancel,
+            tracer,
         )
     elif jobs <= 1 or len(pending) == 1:
         run_one = _run_task_failsafe if on_error == "continue" else _run_task_timed
@@ -667,50 +720,57 @@ def run_tasks(
                     _progress_done(progress, 0.0, tasks[j], value)
                     timed.append((0.0, value))
                 break
-            dur, value = run_one(tasks[i])
+            if tracer is not None:
+                with tracer.span(f"task {_task_name(tasks[i])}",
+                                 "runner.task"):
+                    with use_tracer(tracer):
+                        dur, value = run_one(tasks[i])
+            else:
+                dur, value = run_one(tasks[i])
             _progress_done(progress, dur, tasks[i], value)
             timed.append((dur, value))
     elif on_error == "continue":
         timed = _run_pending_resilient(
-            tasks, pending, min(jobs, len(pending)), progress, cancel
+            tasks, pending, min(jobs, len(pending)), progress, cancel, tracer
         )
-    elif reuse_pool:
-        pool = _get_shared_pool(jobs)
-        timed = []
-        try:
-            for i, (dur, value) in zip(
-                pending,
-                pool.imap(_run_task_timed, [tasks[i] for i in pending],
-                          chunksize=1),
-            ):
-                if cancel is not None and cancel.is_set():
-                    raise SweepCancelled(
-                        f"sweep cancelled after {len(timed)} of "
-                        f"{len(pending)} pending tasks"
-                    )
-                if progress is not None:
-                    progress.task_done(dur, name=_task_name(tasks[i]))
-                timed.append((dur, value))
-        except BaseException:
-            shutdown_shared_pool()
-            raise
     else:
-        ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-            timed = []
-            for i, (dur, value) in zip(
-                pending,
-                pool.imap(_run_task_timed, [tasks[i] for i in pending],
-                          chunksize=1),
-            ):
+        def _pool_imap(pool):
+            if tracer is None:
+                return pool.imap(_run_task_timed,
+                                 [tasks[i] for i in pending], chunksize=1)
+            return pool.imap(
+                _run_task_timed_traced,
+                [(tasks[i],
+                  tracer.child_wire(f"cell {_task_name(tasks[i])}"))
+                 for i in pending], chunksize=1)
+
+        def _drain(pool) -> "list[tuple[float, object]]":
+            out: "list[tuple[float, object]]" = []
+            for i, item in zip(pending, _pool_imap(pool)):
                 if cancel is not None and cancel.is_set():
                     raise SweepCancelled(
-                        f"sweep cancelled after {len(timed)} of "
+                        f"sweep cancelled after {len(out)} of "
                         f"{len(pending)} pending tasks"
                     )
+                dur, value = item[0], item[1]
+                if tracer is not None and len(item) > 2:
+                    tracer.absorb(item[2])
                 if progress is not None:
                     progress.task_done(dur, name=_task_name(tasks[i]))
-                timed.append((dur, value))
+                out.append((dur, value))
+            return out
+
+        if reuse_pool:
+            pool = _get_shared_pool(jobs)
+            try:
+                timed = _drain(pool)
+            except BaseException:
+                shutdown_shared_pool()
+                raise
+        else:
+            ctx = multiprocessing.get_context()
+            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+                timed = _drain(pool)
 
     for i, (_dur, value) in zip(pending, timed):
         results[i] = value

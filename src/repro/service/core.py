@@ -47,6 +47,7 @@ from repro.service.jobs import (
     parse_submission,
 )
 from repro.service.queue import QuotaConfig, TenantQueue
+from repro.tracing.span import Tracer
 
 #: Finished jobs kept addressable (GET-able) before being forgotten.
 DEFAULT_MAX_FINISHED_JOBS = 10_000
@@ -63,7 +64,8 @@ class _Execution:
 
     __slots__ = ("id", "key", "tenant", "priority", "label", "tasks",
                  "state", "seq", "created", "started", "finished",
-                 "cancel_event", "waiters", "results", "progress_payload")
+                 "cancel_event", "waiters", "results", "progress_payload",
+                 "tracer", "trace")
 
     def __init__(self, job: "Job", tasks: list) -> None:
         self.id = job.id
@@ -80,6 +82,10 @@ class _Execution:
         self.cancel_event = threading.Event()
         self.waiters: "list[Job]" = [job]
         self.results: "list | None" = None
+        #: Per-execution span tracer (None when service tracing is off)
+        #: and its final payload after _finalize.
+        self.tracer: "Tracer | None" = None
+        self.trace: "dict | None" = None
         self.progress_payload: "dict[str, object]" = {
             "label": job.label, "total": len(tasks), "done": 0, "cached": 0,
             "failed": 0, "queued": len(tasks), "finished": False,
@@ -107,6 +113,9 @@ class Job:
     #: For cache-hit jobs: the rows themselves (executions carry their own).
     results: "list | None" = None
     finished: "float | None" = None
+    #: For cache-hit jobs: their (tiny) span payload; executed jobs read
+    #: the trace from their execution.
+    trace: "dict | None" = None
 
     @property
     def state(self) -> str:
@@ -169,10 +178,20 @@ class OverlapService:
         cache_max_bytes: "int | None" = None,
         max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS,
         label: str = "service",
+        trace_dir: "str | os.PathLike | None" = None,
+        trace: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.registry = MetricsRegistry()
+        #: Span tracing: on when asked for explicitly or via a trace dir.
+        #: Every execution then carries a Tracer from HTTP accept through
+        #: the crash-isolated worker processes; merged traces are served
+        #: at /v1/jobs/{id}/trace and (with trace_dir) written to disk.
+        self.trace_dir = os.fspath(trace_dir) if trace_dir else None
+        self.trace = bool(trace or trace_dir)
+        if self.trace_dir:
+            os.makedirs(self.trace_dir, exist_ok=True)
         self.cache = ShardedResultCache(
             cache_root, shards=cache_shards, max_entries=cache_max_entries,
             max_bytes=cache_max_bytes, metrics=self.registry)
@@ -248,22 +267,28 @@ class OverlapService:
         self._threads.clear()
 
     # -- submission --------------------------------------------------------
-    def submit(self, payload: object) -> "tuple[int, dict[str, object]]":
+    def submit(self, payload: object,
+               accept_ts: "float | None" = None
+               ) -> "tuple[int, dict[str, object]]":
         """Admit one submission; returns ``(http_status, response_body)``.
 
         200: answered from cache in this round trip.  202: queued (or
         attached to an in-flight identical execution).  400: invalid.
         429: tenant/global budget exhausted (body carries
         ``retry_after``, mirrored in the HTTP header).
+
+        ``accept_ts`` (epoch seconds stamped when the HTTP request was
+        accepted) anchors the ``service.http`` span when tracing is on.
         """
         try:
             sub, tasks = parse_submission(payload)
         except SubmissionError as exc:
             self._submissions["invalid"].inc()
             return 400, {"error": str(exc)}
-        return self.submit_tasks(sub, tasks)
+        return self.submit_tasks(sub, tasks, accept_ts=accept_ts)
 
-    def submit_tasks(self, sub: Submission, tasks: list
+    def submit_tasks(self, sub: Submission, tasks: list,
+                     accept_ts: "float | None" = None
                      ) -> "tuple[int, dict[str, object]]":
         """Admission for an already-canonicalized submission.
 
@@ -271,6 +296,14 @@ class OverlapService:
         and crash-isolation machinery with synthetic tasks.
         """
         key = job_content_key(sub.kind, tasks)
+
+        tracer: "Tracer | None" = None
+        if self.trace:
+            tracer = Tracer(process="service worker", metrics=self.registry)
+            if accept_ts is not None:
+                tracer.add_span("http accept", "service.http", accept_ts,
+                                tracer.now())
+        t_submit = tracer.now() if tracer is not None else 0.0
 
         # Probe the cache outside the lock: pure disk reads, and the
         # common warm path must not serialize behind other submissions.
@@ -281,6 +314,11 @@ class OverlapService:
                 hit_rows = None
                 break
             hit_rows.append(value)
+        if tracer is not None:
+            tracer.add_span("cache probe", "service.cache", t_submit,
+                            tracer.now(),
+                            {"tasks": len(tasks),
+                             "hit": hit_rows is not None})
 
         with self._cond:
             if hit_rows is not None:
@@ -291,6 +329,11 @@ class OverlapService:
                 self.progress.total += 1
                 self.progress.task_done(0.0, cached=True, name=job.label)
                 self._remember_finished(job)
+                if tracer is not None:
+                    tracer.add_span("submit (cache hit)", "service.submit",
+                                    t_submit, tracer.now(),
+                                    {"job": job.id})
+                    job.trace = tracer.to_payload()
                 return 200, {**job.describe(), "rows_url":
                              f"/v1/jobs/{job.id}/result"}
 
@@ -301,6 +344,12 @@ class OverlapService:
                 existing.waiters.append(job)
                 self._submissions["deduped"].inc()
                 self.progress.total += 1
+                if tracer is not None and existing.tracer is not None:
+                    # The waiter's submit joins the primary's timeline.
+                    tracer.add_span("submit (deduped)", "service.submit",
+                                    t_submit, tracer.now(),
+                                    {"job": job.id, "primary": existing.id})
+                    existing.tracer.absorb(tracer.to_payload())
                 return 202, {**job.describe(), "primary_job_id": existing.id}
 
             admission = self.queue.check(sub.tenant,
@@ -313,6 +362,11 @@ class OverlapService:
             job = self._make_job(sub, key)
             execution = _Execution(job, tasks)
             job.execution = execution
+            if tracer is not None:
+                tracer.add_span("submit", "service.submit", t_submit,
+                                tracer.now(), {"job": job.id,
+                                               "tasks": len(tasks)})
+                execution.tracer = tracer
             self.queue.push(execution)
             self._by_key[key] = execution
             self._submissions["queued"].inc()
@@ -373,6 +427,26 @@ class OverlapService:
                 "rows": page,
             }
 
+    def job_trace(self, job_id: str) -> "tuple[int, dict[str, object]]":
+        """The job's merged Perfetto trace; 409 until it has finished."""
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                return 404, {"error": f"no such job {job_id!r}"}
+            if not self.trace:
+                return 404, {"error": "tracing is disabled on this server "
+                                      "(start it with --trace-dir or "
+                                      "trace=True)"}
+            payload = job.trace
+            if payload is None and job.execution is not None:
+                payload = job.execution.trace
+            if payload is None:
+                return 409, {"job_id": job_id, "state": job.state,
+                             "error": "trace not ready"}
+        from repro.tracing.merge import build_trace
+
+        return 200, build_trace(payload)
+
     def cancel(self, job_id: str) -> "tuple[int, dict[str, object]]":
         """Cancel one job.  A dedupe waiter detaches without disturbing
         the shared execution; the *last* waiter to leave cancels it (a
@@ -418,7 +492,11 @@ class OverlapService:
         """The sweep.json-schema payload, service-level or per-job."""
         with self._lock:
             if job_id is None:
-                return 200, self.progress.status()
+                payload = self.progress.status()
+                stages = self._stage_latency()
+                if stages:
+                    payload["stages"] = stages
+                return 200, payload
             job = self.jobs.get(job_id)
             if job is None:
                 return 404, {"error": f"no such job {job_id!r}"}
@@ -430,6 +508,29 @@ class OverlapService:
                            "finished": True}
             payload["state"] = job.state
             return 200, payload
+
+    def _stage_latency(self) -> "dict[str, dict[str, float]]":
+        """Per-category span stats from the tracer-fed histograms.
+
+        What ``repro.tools.watch`` renders as live per-stage latency:
+        ``{category: {count, avg_ms, total_s}}``.  Empty when tracing is
+        off (the families are then never registered).
+        """
+        stages: "dict[str, dict[str, float]]" = {}
+        for fam in self.registry.collect():
+            if fam.name != "repro_trace_span_seconds":
+                continue
+            for labels, value in fam.samples:
+                hist = typing.cast(typing.Any, value)
+                if not getattr(hist, "count", 0):
+                    continue
+                category = dict(labels).get("category", "")
+                stages[category] = {
+                    "count": hist.count,
+                    "avg_ms": round(1e3 * hist.sum / hist.count, 3),
+                    "total_s": round(hist.sum, 6),
+                }
+        return stages
 
     def metrics_text(self) -> str:
         return render_openmetrics(self.registry)
@@ -468,18 +569,29 @@ class OverlapService:
                 self._running[execution.id] = execution
 
             progress = self._execution_progress(execution)
+            tracer = execution.tracer
+            if tracer is not None:
+                tracer.add_span("queue wait", "service.queue",
+                                execution.created, tracer.now(),
+                                {"job": execution.id})
+            sp = (tracer.begin("execute", "service.execute",
+                              job=execution.id, tasks=len(execution.tasks))
+                  if tracer is not None else None)
             t0 = time.perf_counter()
             try:
                 values = run_tasks(
                     execution.tasks, jobs=1, cache=self.cache,
                     on_error="continue", isolate=True,
                     cancel=execution.cancel_event, progress=progress,
+                    tracer=tracer,
                 )
             except Exception as exc:  # defensive: never kill a worker
                 values = [FailedTask(execution.label,
                                      f"{type(exc).__name__}: {exc}")
                           for _ in execution.tasks]
             duration = time.perf_counter() - t0
+            if sp is not None:
+                sp.end()
 
             with self._cond:
                 self._running_counts[execution.tenant] -= 1
@@ -516,6 +628,18 @@ class OverlapService:
         execution.finished = time.time()
         if self._by_key.get(execution.key) is execution:
             del self._by_key[execution.key]
+        if execution.tracer is not None:
+            execution.trace = execution.tracer.to_payload()
+            execution.tracer = None
+            if self.trace_dir:
+                from repro.tracing.merge import save_trace
+
+                try:
+                    save_trace(os.path.join(self.trace_dir,
+                                            f"{execution.id}.trace.json"),
+                               execution.trace)
+                except OSError:  # tracing must never fail a job
+                    pass
         self._job_seconds.observe(duration)
         # Per-job accounting on the service-level dashboard: the first
         # waiter carries the execution's cost, the rest were deduped.

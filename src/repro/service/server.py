@@ -20,6 +20,8 @@ DELETE      ``/v1/jobs/{id}``              cancel
 GET         ``/v1/jobs/{id}/result``       rows (``?offset=&limit=``; ``?stream=1``
                                            for chunked NDJSON)
 GET         ``/v1/jobs/{id}/progress``     per-job ``sweep.json`` payload
+GET         ``/v1/jobs/{id}/trace``        merged Perfetto trace JSON (when the
+                                           service was started with tracing)
 ==========  =============================  =======================================
 
 Blocking service calls (cache probes are disk reads) run on the event
@@ -30,8 +32,10 @@ while a submission hashes and probes.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import threading
+import time
 import typing
 import urllib.parse
 
@@ -237,6 +241,7 @@ class ServiceHTTPServer:
             return
 
         if path == "/v1/jobs" and method == "POST":
+            accept_ts = time.time()  # span anchor: before parse + executor
             try:
                 body = json.loads(request.body.decode("utf-8") or "{}")
             except (UnicodeDecodeError, json.JSONDecodeError):
@@ -244,7 +249,8 @@ class ServiceHTTPServer:
                                       {"error": "body is not valid JSON"})
                 return
             status, payload = await loop.run_in_executor(
-                None, service.submit, body)
+                None,
+                functools.partial(service.submit, body, accept_ts=accept_ts))
             extra = None
             if status == 429:
                 extra = {"Retry-After":
@@ -289,6 +295,13 @@ class ServiceHTTPServer:
                 return
             if tail == ["progress"] and method == "GET":
                 status, payload = service.progress_payload(job_id)
+                await self._send_json(writer, status, payload)
+                return
+            if tail == ["trace"] and method == "GET":
+                # Building the merged trace walks every absorbed payload:
+                # off the event loop with the other blocking calls.
+                status, payload = await loop.run_in_executor(
+                    None, service.job_trace, job_id)
                 await self._send_json(writer, status, payload)
                 return
 

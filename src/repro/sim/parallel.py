@@ -183,6 +183,9 @@ class _ShardTask:
     app_args: tuple
     seed: int
     record_transfers: bool
+    #: Optional :meth:`repro.tracing.Tracer.child_wire` dict: the worker
+    #: adopts it so its spans join the coordinator's trace.
+    trace_wire: "dict | None" = None
 
 
 class _AdvanceReply(typing.NamedTuple):
@@ -210,6 +213,8 @@ class _ShardResult(typing.NamedTuple):
     events: int
     busy: float
     msgs_across: int
+    #: Span payload of the worker's tracer (None when tracing was off).
+    trace: "dict | None" = None
 
 
 class ShardWorker:
@@ -228,7 +233,17 @@ class ShardWorker:
 
         self.task = task
         self._monitor_cls = Monitor
+        self.tracer = None
+        self._ch_advance = self._ch_inject = None
+        if task.trace_wire is not None:
+            from repro.tracing.span import Tracer
+
+            self.tracer = Tracer.adopt(task.trace_wire)
+            self._ch_advance = self.tracer.channel("advance", "shard.advance")
+            self._ch_inject = self.tracer.channel("inject", "shard.inject")
         self.engine = engine = Engine()
+        if self.tracer is not None:
+            engine.attach_tracer(self.tracer)
         self.fabric = fabric = Fabric(
             engine, task.params, task.nprocs, task.config.nics_per_node,
             seed=task.seed, record_transfers=task.record_transfers,
@@ -270,17 +285,30 @@ class ShardWorker:
         t0 = time.process_time()
         engine = self.engine
         fabric = self.fabric
-        for msg in msgs:
-            if msg.when < engine.now:  # pragma: no cover - invariant guard
-                raise ShardError(
-                    f"conservative fence violated: message at t={msg.when} "
-                    f"delivered behind the shard clock t={engine.now}"
-                )
-            fabric.channel_inject(msg)
+        tracer = self.tracer
+        if msgs:
+            sp_t0 = tracer.now() if tracer is not None else 0.0
+            for msg in msgs:
+                if msg.when < engine.now:  # pragma: no cover - invariant guard
+                    raise ShardError(
+                        f"conservative fence violated: message at "
+                        f"t={msg.when} delivered behind the shard clock "
+                        f"t={engine.now}"
+                    )
+                fabric.channel_inject(msg)
+            if tracer is not None:
+                ch = self._ch_inject
+                ch.append(sp_t0)
+                ch.append(tracer.now())
         until = math.nextafter(fence, -_INF)
         if until > engine.now:
             before = engine.processed_count
+            sp_t0 = tracer.now() if tracer is not None else 0.0
             engine.run(until=until)
+            if tracer is not None:
+                ch = self._ch_advance
+                ch.append(sp_t0)
+                ch.append(tracer.now())
             if engine.processed_count > before:
                 self.tail = engine.dispatch_tail
         self.busy += time.process_time() - t0
@@ -327,6 +355,8 @@ class ShardWorker:
             events=self.engine.processed_count,
             busy=self.busy,
             msgs_across=getattr(router, "sent_across", 0),
+            trace=(self.tracer.to_payload()
+                   if self.tracer is not None else None),
         )
 
 
@@ -564,16 +594,33 @@ class _Coordinator:
         )
 
 
-def _coordinate_window(co: _Coordinator) -> None:
-    """Global barrier rounds: grant every eligible shard, collect all."""
+def _coordinate_window(co: _Coordinator, tracer=None) -> None:
+    """Global barrier rounds: grant every eligible shard, collect all.
+
+    With a ``tracer``, each round records three spans: ``coord.fence``
+    (the O(shards²) bound recomputation), ``coord.dispatch`` (issuing
+    grants -- with the inline backend this *is* shard execution, so the
+    explain CLI treats it like wait time), and ``coord.wait`` (blocking
+    on shard replies).
+    """
     n = len(co.handles)
+    if tracer is not None:
+        # One tracer.now() per phase boundary (the end of one phase is
+        # the start of the next) feeding preopened float-pair channels:
+        # per-round tracing stays allocation-free so the <5% overhead
+        # budget holds even at thousands of rounds per second.
+        ch_fence = tracer.channel("fences", "coord.fence")
+        ch_disp = tracer.channel("dispatch", "coord.dispatch")
+        ch_wait = tracer.channel("collect", "coord.wait")
     while not co.done():
         if co.horizon_min() == _INF:
             raise ShardError(
                 "sync wedged: obligations outstanding with no pending events"
             )
-        selected = []
+        ta = tracer.now() if tracer is not None else 0.0
         safe = co.fences_now()
+        tb = tracer.now() if tracer is not None else 0.0
+        selected = []
         for i in range(n):
             fence = safe[i]
             if co.inbox[i] or fence > co.fences[i]:
@@ -581,12 +628,21 @@ def _coordinate_window(co: _Coordinator) -> None:
                 co.grant(i, max(fence, co.fences[i]))
         if not selected:
             raise ShardError("sync stalled: no shard can advance")
+        tc = tracer.now() if tracer is not None else 0.0
         for i in selected:
             co.absorb(i, co.handles[i].collect())
+        if tracer is not None:
+            td = tracer.now()
+            ch_fence.append(ta)
+            ch_fence.append(tb)
+            ch_disp.append(tb)
+            ch_disp.append(tc)
+            ch_wait.append(tc)
+            ch_wait.append(td)
         co.rounds += 1
 
 
-def _coordinate_null(co: _Coordinator, conns: list) -> None:
+def _coordinate_null(co: _Coordinator, conns: list, tracer=None) -> None:
     """Asynchronous pacing: re-arm each shard as soon as its fence moves.
 
     The fence bound is the same as the window protocol's; what changes is
@@ -598,6 +654,10 @@ def _coordinate_null(co: _Coordinator, conns: list) -> None:
     from multiprocessing.connection import wait as mp_wait
 
     n = len(co.handles)
+    if tracer is not None:
+        ch_fence = tracer.channel("fences", "coord.fence")
+        ch_disp = tracer.channel("dispatch", "coord.dispatch")
+        ch_wait = tracer.channel("wait", "coord.wait")
     busy: set[int] = set()
     while True:
         granted = 0
@@ -609,7 +669,9 @@ def _coordinate_null(co: _Coordinator, conns: list) -> None:
                 "sync wedged: obligations outstanding with no pending events"
             )
         if cand != _INF:
+            ta = tracer.now() if tracer is not None else 0.0
             safe = co.fences_now()
+            tb = tracer.now() if tracer is not None else 0.0
             for i in range(n):
                 if i in busy:
                     continue
@@ -618,11 +680,21 @@ def _coordinate_null(co: _Coordinator, conns: list) -> None:
                     co.grant(i, max(fence, co.fences[i]))
                     busy.add(i)
                     granted += 1
+            if tracer is not None:
+                tc = tracer.now()
+                ch_fence.append(ta)
+                ch_fence.append(tb)
+                ch_disp.append(tb)
+                ch_disp.append(tc)
         if not busy:
             if granted == 0:
                 raise ShardError("sync stalled: no shard can advance")
             continue
+        tw = tracer.now() if tracer is not None else 0.0
         ready = mp_wait([conns[i] for i in busy])
+        if tracer is not None:
+            ch_wait.append(tw)
+            ch_wait.append(tracer.now())
         for conn in ready:
             shard = conns.index(conn)
             co.absorb(shard, co.handles[shard].collect())
@@ -688,6 +760,7 @@ def run_app_sharded(
     backend: str = "process",
     partition: "list[list[int]] | None" = None,
     edges: "typing.Iterable[tuple] | None" = None,
+    tracer: "typing.Any | None" = None,
 ) -> "RunResult":
     """Run ``app`` on ``nprocs`` ranks split across ``shards`` workers.
 
@@ -698,6 +771,13 @@ def run_app_sharded(
     in this process (deterministic and fast to spawn -- the default for
     tests), ``"process"`` forks one worker per shard.  See the module
     docstring for the ``sync`` protocols.
+
+    ``tracer`` (optional :class:`~repro.tracing.Tracer`) records
+    coordinator phase spans (fence recompute, dispatch, reply wait,
+    finalize) and per-shard ``shard.advance`` / ``shard.inject`` spans;
+    shard workers join the trace over the existing task pipe and their
+    payloads are absorbed, so the merged Perfetto timeline shows one pid
+    per shard.  Reports stay bit-identical with tracing off.
     """
     from repro.mpisim.config import MpiConfig
     from repro.runtime.launcher import RunResult, default_xfer_table
@@ -737,12 +817,17 @@ def run_app_sharded(
         for r in ranks:
             shard_of[r] = s
     table = xfer_table or default_xfer_table(params)
+    sp_run = (tracer.begin("sharded run", "coord.run", shards=nshards,
+                           sync=sync, backend=backend)
+              if tracer is not None else None)
     tasks = [
         _ShardTask(
             shard_id=s, ranks=ranks, shard_of=shard_of, app=app,
             nprocs=nprocs, config=config, params=params, xfer_table=table,
             label=label, app_args=app_args, seed=seed,
             record_transfers=record_transfers,
+            trace_wire=(tracer.child_wire(f"shard {s}")
+                        if tracer is not None else None),
         )
         for s, ranks in enumerate(partition)
     ]
@@ -758,16 +843,25 @@ def run_app_sharded(
             handles = [_ProcHandle(ctx, task) for task in tasks]
         co = _Coordinator(handles, shard_of, params, la)
         if sync == "null" and backend == "process":
-            _coordinate_null(co, [h.conn for h in handles])
+            _coordinate_null(co, [h.conn for h in handles], tracer)
         else:
             # The inline backend steps shards sequentially, so barrier
             # rounds and asynchronous pacing coincide.
-            _coordinate_window(co)
+            _coordinate_window(co, tracer)
+        sp_fin = (tracer.begin("finalize shards", "coord.finish")
+                  if tracer is not None else None)
         results = [h.finish(co.tail) for h in handles]
+        if tracer is not None:
+            for res in results:
+                tracer.absorb(res.trace)
+        if sp_fin is not None:
+            sp_fin.end()
     finally:
         for h in handles:
             h.close()
     host_elapsed = time.perf_counter() - t0
+    if sp_run is not None:
+        sp_run.annotate(rounds=co.rounds, messages=co.messages).end()
 
     reports: list = [None] * nprocs
     returns: list = [None] * nprocs

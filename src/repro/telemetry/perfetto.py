@@ -43,6 +43,9 @@ TID_SECTIONS = 2
 TID_TRANSFERS = 3
 TID_WIRE = 4
 
+#: Thread id used by host-time span timelines (``repro.tracing.merge``).
+TID_SPANS = 1
+
 _THREAD_NAMES = {
     TID_CALLS: "library calls",
     TID_SECTIONS: "sections",
@@ -78,6 +81,45 @@ class ChromeTraceExporter:
                 {"ph": "M", "name": "thread_name", "pid": rank, "tid": tid,
                  "args": {"name": tname}}
             )
+
+    def add_process(self, pid: int, name: str,
+                    sort_index: "int | None" = None,
+                    thread_names: "dict[int, str] | None" = None) -> None:
+        """Name an arbitrary process track (not tied to a simulated rank).
+
+        The host-span merge (:mod:`repro.tracing.merge`) builds multi-
+        process timelines -- service worker, sweep cells, shard workers
+        -- whose pids are assigned by enumeration, not rank number.
+        """
+        if pid in self._named_pids:
+            return
+        self._named_pids.add(pid)
+        self.events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+        self.events.append(
+            {"ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+             "args": {"sort_index": sort_index if sort_index is not None
+                      else pid}}
+        )
+        for tid, tname in (thread_names or {TID_SPANS: "spans"}).items():
+            self.events.append(
+                {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                 "args": {"name": tname}}
+            )
+
+    def add_complete_slice(self, pid: int, tid: int, name: str, cat: str,
+                           t0: float, t1: float,
+                           args: "dict | None" = None) -> None:
+        """One complete ("X") slice from absolute times in seconds."""
+        ev: dict[str, object] = {
+            "ph": "X", "name": name, "cat": cat, "pid": pid, "tid": tid,
+            "ts": t0 * TIME_SCALE, "dur": max(0.0, (t1 - t0)) * TIME_SCALE,
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
 
     # -- slices from the raw event stream -----------------------------------
     def add_rank_events(

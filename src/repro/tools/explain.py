@@ -1,0 +1,79 @@
+"""``repro.tools.explain`` -- critical-path breakdown of a merged trace.
+
+Consumes the Perfetto ``trace_event`` JSON written by ``--trace-dir``
+runs (or the service's ``/v1/jobs/<id>/trace`` page, saved to a file)
+and prints where the wall-clock went::
+
+    python -m repro.tools.explain traces/nas.lu.trace.json
+
+``--check`` validates the trace structurally (unclosed spans, negative
+or non-finite durations, non-monotonic per-process ordering, missing
+process names) and exits non-zero on problems -- CI runs this against
+the sharded-smoke trace artifact.  ``--json`` emits the machine-readable
+summary instead of the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.tracing import explain_trace, render_explain, validate_trace
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.explain",
+        description="Attribute a merged span trace's wall-clock to "
+                    "named stages (shard compute, fence wait, channel "
+                    "I/O, queue wait, ...).")
+    parser.add_argument("trace", help="merged Perfetto trace JSON file")
+    parser.add_argument("--check", action="store_true",
+                        help="validate trace structure; exit 1 on problems")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the summary as JSON")
+    parser.add_argument("--min-categorized", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail unless at least FRAC (0..1) of the "
+                             "wall-clock is attributed to named stages")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"explain: cannot read trace {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.check:
+        problems = validate_trace(trace)
+        if problems:
+            for problem in problems:
+                print(f"explain: INVALID: {problem}", file=sys.stderr)
+            return 1
+        print(f"explain: trace {args.trace} is structurally valid")
+        return 0
+    try:
+        summary = explain_trace(trace)
+    except ValueError as exc:
+        print(f"explain: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_explain(summary))
+    if (args.min_categorized is not None
+            and float(summary["categorized_frac"]) < args.min_categorized):
+        print(f"explain: only {float(summary['categorized_frac']):.1%} of "
+              f"wall-clock categorized (need "
+              f"{args.min_categorized:.1%})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

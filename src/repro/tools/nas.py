@@ -60,6 +60,12 @@ def _run_cell(
     from repro.nas.mg import mg_app
     from repro.nas.sp import sp_app
     from repro.runtime.launcher import run_app
+    from repro.tracing.span import current_tracer
+
+    # Installed ambiently by run_tasks (never passed in the argument
+    # tuple: that tuple is the content-hash cache key shared with the
+    # service, and a tracer argument would invalidate every cached cell).
+    tracer = current_tracer()
 
     registry = None
     if emit_metrics:
@@ -124,7 +130,7 @@ def _run_cell(
         result = run_app(app, nprocs, config=config, params=params, label=label,
                          app_args=app_args, metrics=registry,
                          watchdog=watchdog, shards=shards,
-                         shard_sync=shard_sync)
+                         shard_sync=shard_sync, tracer=tracer)
 
     payload = {
         "label": label,
@@ -229,6 +235,11 @@ def make_parser() -> argparse.ArgumentParser:
                         default="window",
                         help="shard synchronization protocol (default: "
                         "window barriers; null = asynchronous pacing)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="record host-time spans for the whole sweep "
+                        "(runner, launcher, coordinator, shards) and write "
+                        "one merged Perfetto trace_event JSON here; inspect "
+                        "with `python -m repro.tools.explain`")
     parser.add_argument("--live", action="store_true",
                         help="render the sweep dashboard in-place on stderr "
                         "while cells run")
@@ -258,6 +269,15 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             on_update = LiveRenderer().update
         progress = SweepProgress(args.metrics_dir, label=f"nas.{args.benchmark}",
                                  on_update=on_update)
+    tracer = None
+    sp_root = None
+    if args.trace_dir:
+        from repro.tracing import Tracer
+
+        tracer = Tracer(process="nas sweep")
+        sp_root = tracer.begin(f"nas {args.benchmark}", "runner.root",
+                               klass=args.klass, cells=len(args.nprocs),
+                               jobs=args.jobs)
     tasks = [
         Task(_run_cell, (args.benchmark, args.klass, nprocs, args.niter,
                          args.library, args.modified, args.nonblocking,
@@ -267,7 +287,17 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         for nprocs in args.nprocs
     ]
     payloads = run_tasks(tasks, jobs=args.jobs, cache=cache, progress=progress,
-                         on_error=args.on_error)
+                         on_error=args.on_error, tracer=tracer)
+    if tracer is not None:
+        from repro.tracing import save_trace
+
+        assert sp_root is not None
+        sp_root.end()
+        tdir = pathlib.Path(args.trace_dir)
+        tdir.mkdir(parents=True, exist_ok=True)
+        trace_path = tdir / f"nas.{args.benchmark}.trace.json"
+        save_trace(trace_path, tracer)
+        print(f"wrote span trace to {trace_path}")
 
     failed = 0
     for i, payload in enumerate(payloads):

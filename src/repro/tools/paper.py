@@ -147,6 +147,10 @@ def make_parser() -> argparse.ArgumentParser:
                         "sharded parallel-DES engine with this many worker "
                         "processes (reports are bit-identical; see "
                         "docs/performance.md)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="record host-time spans for the reproduction "
+                        "run and write a merged Perfetto trace_event JSON "
+                        "here (inspect with `python -m repro.tools.explain`)")
     return parser
 
 
@@ -187,9 +191,30 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             on_update = LiveRenderer().update
         progress = SweepProgress(args.metrics_dir, label="paper",
                                  on_update=on_update)
+    tracer = None
+    sp_root = None
+    if args.trace_dir:
+        from repro.tracing import Tracer
+
+        tracer = Tracer(process="paper sweep")
+        sp_root = tracer.begin("paper reproduction", "runner.root",
+                               figures=len(keys), jobs=args.jobs)
     tasks = [Task(_render_section, (key, args.quick, args.shards))
              for key in keys]
-    texts = run_tasks(tasks, jobs=args.jobs, cache=cache, progress=progress)
+    texts = run_tasks(tasks, jobs=args.jobs, cache=cache, progress=progress,
+                      tracer=tracer)
+    if tracer is not None:
+        import pathlib
+
+        from repro.tracing import save_trace
+
+        assert sp_root is not None
+        sp_root.end()
+        tdir = pathlib.Path(args.trace_dir)
+        tdir.mkdir(parents=True, exist_ok=True)
+        trace_path = tdir / "paper.trace.json"
+        save_trace(trace_path, tracer)
+        print(f"wrote span trace to {trace_path}")
     for key, text in zip(keys, texts):
         blocks.append(f"\n## {key}\n\n```\n{text}\n```")
     elapsed = time.perf_counter() - t0

@@ -50,6 +50,14 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-dir", default=None,
                         help="publish service + per-job sweep.json/"
                         "metrics.om artifacts here")
+    parser.add_argument("--trace-dir", default=None,
+                        help="record host-time spans per job (accept -> "
+                        "queue -> execute -> shards) and write one merged "
+                        "Perfetto trace_event JSON per execution here; also "
+                        "enables GET /v1/jobs/{id}/trace")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable span tracing and the trace endpoint "
+                        "without writing trace files")
     parser.add_argument("--max-queued-per-tenant", type=int, default=64)
     parser.add_argument("--max-running-per-tenant", type=int, default=2)
     parser.add_argument("--max-queued-total", type=int, default=1024)
@@ -72,6 +80,8 @@ def build_service(args: argparse.Namespace) -> OverlapService:
         metrics_dir=args.metrics_dir,
         cache_max_entries=args.cache_max_entries,
         cache_max_bytes=args.cache_max_bytes,
+        trace_dir=args.trace_dir,
+        trace=args.trace,
     )
 
 
@@ -106,7 +116,8 @@ def run_smoke(args: argparse.Namespace) -> int:
 
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
         service = OverlapService(cache_root=f"{tmp}/cache", workers=2,
-                                 metrics_dir=f"{tmp}/metrics")
+                                 metrics_dir=f"{tmp}/metrics",
+                                 trace_dir=f"{tmp}/traces")
         spec = {"tenant": "smoke", "kind": "nas", "benchmark": "lu",
                 "klass": "S", "np": 2, "niter": 1}
         with ServerThread(service, host=args.host) as server:
@@ -131,6 +142,15 @@ def run_smoke(args: argparse.Namespace) -> int:
             streamed = client.stream_result(job_id)
             check(len(streamed) == 2 and streamed[1] == rows[0],
                   "streamed NDJSON rows match paged rows")
+
+            trace = client.request("GET", f"/v1/jobs/{job_id}/trace")
+            check(trace.status == 200
+                  and bool(trace.body.get("traceEvents")),
+                  "GET trace returns a Perfetto timeline")
+            if trace.status == 200:
+                from repro.tracing import validate_trace
+                check(validate_trace(trace.body) == [],
+                      "trace is structurally valid")
 
             metrics = client.metrics_text()
             check("repro_service_submissions" in metrics

@@ -109,6 +109,16 @@ def render_status(payload: "dict[str, object] | None") -> str:
         f"  ETA {_fmt_eta(float(typing.cast(float, payload.get('eta_s', 0.0))))}"
         + (f"   last: {payload['last_task']}" if payload.get("last_task") else ""),
     ]
+    stages = payload.get("stages")
+    if isinstance(stages, dict) and stages:
+        # Per-stage span latency published by a tracing-enabled service
+        # (see docs/observability.md): category -> {count, avg_ms, total_s}.
+        worst = sorted(stages.items(),
+                       key=lambda kv: -float(kv[1].get("total_s", 0.0)))[:4]
+        lines.append("  stages " + "   ".join(
+            f"{cat} {float(st.get('avg_ms', 0.0)):.1f}ms"
+            f"x{int(st.get('count', 0))}"
+            for cat, st in worst))
     return "\n".join(lines)
 
 

@@ -1,0 +1,41 @@
+"""End-to-end host-time span tracing (HTTP submit -> per-shard engine).
+
+Public surface:
+
+* :class:`Tracer` / :class:`Span` / :class:`SpanContext` /
+  :class:`SpanRecord` -- the span recorder (``repro.tracing.span``);
+* :func:`current_tracer` / :func:`set_current_tracer` / :class:`use_tracer`
+  -- the ambient in-process propagation shim;
+* :func:`build_trace` / :func:`save_trace` / :func:`flatten_payloads` /
+  :func:`payload_spans` -- merge payload trees into one Perfetto JSON
+  (``repro.tracing.merge``);
+* :func:`explain_trace` / :func:`validate_trace` / :func:`render_explain`
+  -- critical-path attribution (``repro.tracing.explain``), fronted by
+  the ``repro.tools.explain`` CLI.
+"""
+
+from repro.tracing.explain import (explain_trace, render_explain,
+                                   validate_trace)
+from repro.tracing.merge import build_trace, flatten_payloads, save_trace
+from repro.tracing.span import (PAYLOAD_VERSION, Span, SpanContext,
+                                SpanRecord, Tracer, current_tracer,
+                                payload_spans, set_current_tracer,
+                                use_tracer)
+
+__all__ = [
+    "PAYLOAD_VERSION",
+    "Span",
+    "SpanContext",
+    "SpanRecord",
+    "Tracer",
+    "build_trace",
+    "current_tracer",
+    "explain_trace",
+    "flatten_payloads",
+    "payload_spans",
+    "render_explain",
+    "save_trace",
+    "set_current_tracer",
+    "use_tracer",
+    "validate_trace",
+]

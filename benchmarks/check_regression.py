@@ -25,17 +25,28 @@ import argparse
 import json
 import sys
 
-#: (block, key, direction) -- "higher" means bigger is better.  Blocks
-#: missing from either file are SKIPped, so one guard serves both
-#: ``BENCH_simulator.json`` and ``BENCH_service.json`` (the CI service
-#: job runs it a second time against the service file, with a wider
-#: tolerance: HTTP latency numbers are noisier than simulator
-#: throughput).
+#: (block, key, direction[, tolerance]) -- "higher" means bigger is
+#: better; an optional fourth element overrides the run's tolerance for
+#: that one check.  Blocks missing from either file are SKIPped, so one
+#: guard serves both ``BENCH_simulator.json`` and ``BENCH_service.json``
+#: (the CI service job runs it a second time against the service file,
+#: with a wider tolerance: HTTP latency numbers are noisier than
+#: simulator throughput).
+#:
+#: The fence-speedup ratio gets a wide 0.5 tolerance of its own: it is a
+#: ratio of two sub-millisecond-per-round measurements and swings
+#: session to session, and the hard >= 5x acceptance bar is asserted
+#: inside ``test_shard_scale.py`` itself -- this floor only catches the
+#: optimization being lost outright (a drop to ~1x).
 CHECKS = (
     ("engine_ping_pong", "events_per_s", "higher"),
     ("full_stack_lu", "mean_s", "lower"),
     ("shard_scale", "events_per_s_x1", "higher"),
     ("shard_scale", "speedup_x4", "higher"),
+    ("shard_scale", "speedup_x8", "higher"),
+    ("shard_scale_hi", "events_per_s_1024", "higher"),
+    ("shard_scale_hi", "events_per_s_4096", "higher"),
+    ("shard_fence", "speedup_vs_reference", "higher", 0.5),
     ("tracing_overhead_lu", "paired_ratio_median", "lower"),
     ("service_load", "submissions_per_s", "higher"),
     ("service_load", "served_hot_ratio", "higher"),
@@ -70,7 +81,8 @@ def main(argv: "list[str] | None" = None) -> int:
     current = load(args.current)
 
     failures = []
-    for block, key, direction in CHECKS:
+    for block, key, direction, *extra in CHECKS:
+        tolerance = extra[0] if extra else args.tolerance
         ref = floor.get(block, {}).get(key)
         got = current.get(block, {}).get(key)
         name = f"{block}.{key}"
@@ -79,16 +91,16 @@ def main(argv: "list[str] | None" = None) -> int:
                   f"{'floor' if ref is None else 'current'} file")
             continue
         if direction == "higher":
-            limit = ref * (1.0 - args.tolerance)
+            limit = ref * (1.0 - tolerance)
             ok = got >= limit
             verdict = f"{got:.6g} >= {limit:.6g}"
         else:
-            limit = ref * (1.0 + args.tolerance)
+            limit = ref * (1.0 + tolerance)
             ok = got <= limit
             verdict = f"{got:.6g} <= {limit:.6g}"
         status = "OK  " if ok else "FAIL"
         print(f"{status} {name}: {verdict} (floor {ref:.6g}, "
-              f"tolerance {args.tolerance:.0%})")
+              f"tolerance {tolerance:.0%})")
         if not ok:
             failures.append(name)
 

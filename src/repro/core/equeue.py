@@ -58,7 +58,13 @@ class CircularEventQueue:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._drain = drain
-        self._slots: list[TimedEvent | None] = [None] * capacity
+        # Slot storage grows on demand up to ``capacity`` rather than
+        # being preallocated: a 4096-rank run builds 4096 of these queues
+        # and most never see more than a few dozen events between drains,
+        # so eager ``[None] * capacity`` lists were ~130 MB of dead
+        # ballast at high rank counts.  Observable behavior (capacity
+        # bound, drain points, ring overwrite) is unchanged.
+        self._slots: list[TimedEvent | None] = []
         self._head = 0  # next free slot
         self._start = 0  # oldest slot (ring mode only)
         self._draining = False
@@ -128,7 +134,16 @@ class CircularEventQueue:
                 return
             self.flush()
             head = self._head
-        self._slots[head] = event
+        slots = self._slots
+        try:
+            slots[head] = event
+        except IndexError:
+            # Slot storage grows geometrically toward ``capacity`` (at
+            # most O(log capacity) times per queue); the steady-state
+            # store above stays branch-free on the stamping hot path.
+            grown = min(self.capacity, max(64, 2 * len(slots)))
+            slots.extend([None] * (grown - len(slots)))
+            slots[head] = event
         head += 1
         self._head = head
         if head > self.occupancy_high_water:

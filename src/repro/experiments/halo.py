@@ -60,3 +60,110 @@ def halo_app(
 def halo_edges(nprocs: int) -> list[tuple[int, int]]:
     """The ring's communication graph (for the topology partitioner)."""
     return [(r, (r + 1) % nprocs) for r in range(nprocs)]
+
+
+def main(argv: "typing.Sequence[str] | None" = None) -> int:
+    """CLI: run (and optionally differential-check) a sharded halo run.
+
+    The CI high-rank smoke job drives this::
+
+        python -m repro.experiments.halo --ranks 1024 --shards 4 \\
+            --steps 3 --sync null --check --json
+
+    ``--check`` runs the full sharded differential
+    (:func:`repro.netsim.differential.assert_sharded_identical`): the
+    sharded run must be bit-identical to a single-process run or the
+    process exits nonzero with the first diverging measures printed.
+    """
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.halo",
+        description="Sharded halo-exchange smoke runner.",
+    )
+    parser.add_argument("--ranks", type=int, default=64)
+    parser.add_argument("--steps", type=int, default=5)
+    parser.add_argument("--nbytes", type=float, default=4096.0)
+    parser.add_argument("--compute-us", type=float, default=20.0)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--sync", choices=("window", "null"),
+                        default="window")
+    parser.add_argument("--backend", choices=("process", "inline"),
+                        default="process")
+    parser.add_argument("--fence-impl",
+                        choices=("incremental", "reference"),
+                        default="incremental")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="disable batched cross-shard wire frames")
+    parser.add_argument("--check", action="store_true",
+                        help="also run single-process and require "
+                        "bit-identical results")
+    parser.add_argument("--json", action="store_true",
+                        help="print a machine-readable summary")
+    args = parser.parse_args(argv)
+
+    from repro.mpisim.config import mvapich2_like
+
+    app_args = (args.steps, args.nbytes, args.compute_us * 1e-6)
+    config = mvapich2_like()
+    if args.check:
+        from repro.netsim.differential import (
+            assert_sharded_identical,
+            run_sharded_pair,
+        )
+
+        try:
+            assert_sharded_identical(
+                halo_app, args.ranks, args.shards, config=config,
+                app_args=app_args, sync=args.sync, backend=args.backend,
+                batch=not args.no_batch, fence_impl=args.fence_impl,
+            )
+        except AssertionError as exc:
+            print(f"halo --check FAILED: {exc}")
+            return 1
+        _single, result = run_sharded_pair(
+            halo_app, args.ranks, args.shards, config=config,
+            app_args=app_args, sync=args.sync, backend=args.backend,
+            batch=not args.no_batch, fence_impl=args.fence_impl,
+        )
+    else:
+        from repro.runtime.launcher import run_app
+
+        result = run_app(
+            halo_app, args.ranks, config=config, app_args=app_args,
+            label=f"halo.{args.ranks}", shards=args.shards,
+            shard_sync=args.sync, shard_backend=args.backend,
+            shard_batch=not args.no_batch,
+            shard_fence_impl=args.fence_impl,
+        )
+    st = result.sync_stats
+    summary = {
+        "ranks": args.ranks,
+        "shards": args.shards,
+        "sync": args.sync,
+        "fence_impl": st["fence_impl"],
+        "batch": st["batch"],
+        "checked": args.check,
+        "events": st["events"],
+        "rounds": st["rounds"],
+        "messages": st["messages"],
+        "fence_recomputes": st["fence_recomputes"],
+        "events_per_busy_s": round(st["events"] / max(st["busy_s"])),
+        "elapsed_sim_s": result.elapsed,
+    }
+    if args.json:
+        print(_json.dumps(summary, indent=2))
+    else:
+        checked = " [bit-identity checked]" if args.check else ""
+        print(
+            f"halo {args.ranks} ranks x {args.steps} steps, "
+            f"shards={args.shards} sync={args.sync}{checked}: "
+            f"{summary['events']} events in {summary['rounds']} rounds, "
+            f"{summary['events_per_busy_s']} ev/s per busy-CPU"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

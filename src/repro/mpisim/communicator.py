@@ -19,6 +19,21 @@ from repro.mpisim.request import PersistentRequest, Request
 from repro.mpisim.status import ANY_SOURCE, ANY_TAG, MpiError, Status
 
 
+#: Shared world-group tuples, one per world size.  Every rank's world
+#: communicator used to build its own ``tuple(range(size))`` -- at 4096
+#: ranks that is ~570 MB of duplicate int objects and the single largest
+#: allocation in a high-rank run.  Groups are immutable, so all ranks of
+#: one world can share a single tuple.
+_WORLD_GROUPS: dict[int, tuple[int, ...]] = {}
+
+
+def _world_group(size: int) -> tuple[int, ...]:
+    group = _WORLD_GROUPS.get(size)
+    if group is None:
+        group = _WORLD_GROUPS[size] = tuple(range(size))
+    return group
+
+
 class _GroupEndpoint:
     """Group-scoped endpoint adapter handed to the collective algorithms.
 
@@ -27,11 +42,12 @@ class _GroupEndpoint:
     and the communicator's context id applied.
     """
 
-    def __init__(self, endpoint: Endpoint, group: tuple[int, ...], ctx: int) -> None:
+    def __init__(self, endpoint: Endpoint, group: tuple[int, ...], ctx: int,
+                 rank: "int | None" = None) -> None:
         self._ep = endpoint
         self._group = group
         self._ctx = ctx
-        self.rank = group.index(endpoint.rank)
+        self.rank = group.index(endpoint.rank) if rank is None else rank
         self.size = len(group)
         self.coll_seq = 0  # per-communicator collective counter
 
@@ -69,13 +85,28 @@ class Comm:
         comm_id: int = 0,
     ) -> None:
         self.ep = endpoint
-        self.group = group if group is not None else tuple(range(endpoint.size))
-        if endpoint.rank not in self.group:
-            raise MpiError(
-                f"rank {endpoint.rank} is not a member of group {self.group}"
-            )
+        # ``group is None`` selects the world communicator: group rank ==
+        # world rank, so membership is a range check, the group tuple is
+        # shared across all ranks, and rank translation is the identity.
+        self._identity = group is None
+        if group is None:
+            if not 0 <= endpoint.rank < endpoint.size:
+                raise MpiError(
+                    f"rank {endpoint.rank} is not a member of a world of "
+                    f"size {endpoint.size}"
+                )
+            self.group = _world_group(endpoint.size)
+        else:
+            self.group = group
+            if endpoint.rank not in group:
+                raise MpiError(
+                    f"rank {endpoint.rank} is not a member of group {group}"
+                )
         self.comm_id = comm_id
-        self._gep = _GroupEndpoint(endpoint, self.group, comm_id)
+        self._gep = _GroupEndpoint(
+            endpoint, self.group, comm_id,
+            rank=endpoint.rank if self._identity else None,
+        )
         self._split_seq = 0
         # Hot-path caches for _call: one attribute load instead of three
         # per library call (the endpoint's monitor and config never change).
@@ -105,6 +136,11 @@ class Comm:
             ) from None
 
     def _local(self, world_rank: int) -> int:
+        # World communicators translate per received Status; the O(size)
+        # ``tuple.index`` scan here was a leading per-message cost at
+        # thousands of ranks.  Identity for world, scan for sub-groups.
+        if self._identity:
+            return world_rank
         return self.group.index(world_rank)
 
     def _status(self, status: Status | None) -> Status | None:

@@ -162,6 +162,8 @@ def run_sharded_pair(
     backend: str = "process",
     strategy: str = "contiguous",
     record_transfers: bool = False,
+    batch: bool = True,
+    fence_impl: str = "incremental",
 ) -> "tuple[RunResult, RunResult]":
     """Run once single-process and once sharded; both use channel delivery.
 
@@ -184,7 +186,8 @@ def run_sharded_pair(
         app_args=app_args, seed=seed, label=label,
         record_transfers=record_transfers,
         shards=shards, shard_sync=sync, shard_backend=backend,
-        shard_strategy=strategy,
+        shard_strategy=strategy, shard_batch=batch,
+        shard_fence_impl=fence_impl,
     )
     return single, sharded
 

@@ -172,6 +172,8 @@ def run_app(
     shard_strategy: str = "contiguous",
     shard_backend: str = "process",
     shard_partition: "list[list[int]] | None" = None,
+    shard_batch: bool = True,
+    shard_fence_impl: str = "incremental",
     tracer: "Tracer | None" = None,
 ) -> RunResult:
     """Run ``app(ctx, *app_args)`` on ``nprocs`` simulated ranks.
@@ -211,6 +213,7 @@ def run_app(
             telemetry=telemetry, metrics=metrics, watchdog=watchdog,
             sync=shard_sync, strategy=shard_strategy,
             backend=shard_backend, partition=shard_partition,
+            batch=shard_batch, fence_impl=shard_fence_impl,
             tracer=tracer,
         )
     config = config or MpiConfig()

@@ -160,6 +160,8 @@ class Engine:
         self.bursts_opened: int = 0
         #: Times a burst yielded its remainder back to the pending store.
         self.burst_reinserts: int = 0
+        #: Heap-to-calendar migrations (population crossed CALENDAR_ENGAGE).
+        self.calendar_engagements: int = 0
         #: Key floor for :meth:`elapse` while a burst is mid-retirement:
         #: the next sub-event's time (those subs are not in the store, so
         #: the store minimum alone would over-approve inline advances).
@@ -263,6 +265,7 @@ class Engine:
             self.heap_high_water = n
         if n > CALENDAR_ENGAGE:
             self._cal = CalendarQueue(heap)
+            self.calendar_engagements += 1
             del heap[:]
 
     def _post_entry(self, when: float, seq: int, item: object) -> None:
@@ -284,6 +287,7 @@ class Engine:
             # local alias) but emptied, which is what flips active loops
             # over to the calendar path.
             self._cal = CalendarQueue(heap)
+            self.calendar_engagements += 1
             del heap[:]
 
     def post_at(self, when: float, value: object = None) -> Event:

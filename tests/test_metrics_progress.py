@@ -115,6 +115,26 @@ def test_render_status_formats_dashboard():
     assert "[done]" in watch.render_status(payload)
 
 
+def test_render_status_surfaces_coordinator_stages():
+    payload = {
+        "label": "sharded", "total": 1, "done": 1, "finished": True,
+        "stages": {
+            "coord.fence": {"count": 800, "avg_ms": 0.02, "total_s": 0.016},
+            "coord.dispatch": {"count": 800, "avg_ms": 0.05,
+                               "total_s": 0.04},
+            "coord.wait": {"count": 800, "avg_ms": 0.18, "total_s": 0.144},
+            "shard.advance": {"count": 6400, "avg_ms": 0.4, "total_s": 2.56},
+        },
+    }
+    text = watch.render_status(payload)
+    # 800 rounds over a 0.2 s coordination loop; fence+dispatch is 28%.
+    assert "coordinator 800 fence rounds @ 4,000/s" in text
+    assert "28% coordinator share" in text
+    # No coord.fence stage -> no coordinator line.
+    del payload["stages"]["coord.fence"]
+    assert "coordinator" not in watch.render_status(payload)
+
+
 def test_fmt_eta_ranges():
     assert watch._fmt_eta(0.0) == "--"
     assert watch._fmt_eta(42.0) == "42s"

@@ -47,6 +47,9 @@ CHECKS = (
     ("shard_scale_hi", "events_per_s_1024", "higher"),
     ("shard_scale_hi", "events_per_s_4096", "higher"),
     ("shard_fence", "speedup_vs_reference", "higher", 0.5),
+    # Socket-backend capacity rides real TCP + subprocess scheduling on
+    # a shared runner; guard only against outright collapse.
+    ("shard_socket", "events_per_s", "higher", 0.5),
     ("tracing_overhead_lu", "paired_ratio_median", "lower"),
     ("service_load", "submissions_per_s", "higher"),
     ("service_load", "served_hot_ratio", "higher"),

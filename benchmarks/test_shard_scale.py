@@ -49,6 +49,14 @@ SHARDS = (1, 2, 4, 8)
 HI_SHARDS = 8
 HI_CONFIGS = ((256, 30), (1024, 10), (4096, 4))
 
+#: Socket-backend capacity point: the same halo workload through real
+#: ``repro.sim.remote`` worker subprocesses over loopback TCP -- one
+#: shard per worker, so every cross-shard message rides the framed
+#: socket transport (heartbeats included).
+SOCKET_RANKS = 64
+SOCKET_STEPS = 40
+SOCKET_SHARDS = 2
+
 #: Fence benchmark: a 1024-rank halo with a round-robin ("scattered")
 #: partition, which makes *every* halo edge cross-shard.  That floods the
 #: coordinator with routed messages and PLACE/ACK obligations -- exactly
@@ -232,6 +240,73 @@ def test_shard_scale_hi_rank(benchmark, bench_record, emit):
         f"coordinator dominates the loop: "
         f"{curve[4096]['coord_share'] * 100:.0f}% share at 4096 ranks"
     )
+
+
+def _run_socket_point() -> dict:
+    from repro.netsim.transport import TransportOptions
+    from repro.sim.remote import LocalWorkerPool
+
+    with LocalWorkerPool(SOCKET_SHARDS) as pool:
+        result = run_app(
+            halo_app, SOCKET_RANKS, config=mvapich2_like(),
+            app_args=(SOCKET_STEPS, NBYTES, COMPUTE_S),
+            label=f"halo.{SOCKET_RANKS}.socket", shards=SOCKET_SHARDS,
+            shard_backend="socket", shard_hosts=pool.addresses,
+            shard_transport=TransportOptions(),
+        )
+    st = result.sync_stats
+    tr = st["transport"]
+    busy = max(st["busy_s"])
+    wire = tr["bytes_out"] + tr["bytes_in"]
+    return {
+        "events": st["events"],
+        "busy_s": busy,
+        "events_per_s": st["events"] / busy,
+        "rounds": st["rounds"],
+        "heartbeats": tr["heartbeats"],
+        "frames": tr["frames_out"] + tr["frames_in"],
+        "wire_bytes": wire,
+        "payload_bytes": tr["payload_bytes"],
+        "overhead_bytes": wire - tr["payload_bytes"],
+        "connect_attempts": sum(tr["connect_attempts"]),
+    }
+
+
+def test_socket_backend_point(benchmark, bench_record, emit):
+    """Capacity through real TCP workers, plus transport overhead."""
+    point = benchmark.pedantic(_run_socket_point, rounds=1, iterations=1)
+    overhead = point["overhead_bytes"] / max(1, point["wire_bytes"])
+    bench_record["shard_socket"] = {
+        "workload": (f"halo {SOCKET_RANKS} ranks x {SOCKET_STEPS} steps, "
+                     f"shards={SOCKET_SHARDS}, one repro.sim.remote "
+                     "subprocess per shard over loopback TCP"),
+        "metric": "aggregate events / max per-worker busy CPU seconds",
+        "events_per_s": round(point["events_per_s"]),
+        "sync_rounds": point["rounds"],
+        "heartbeats": point["heartbeats"],
+        "frames": point["frames"],
+        "wire_bytes": point["wire_bytes"],
+        "transport_overhead_bytes": point["overhead_bytes"],
+        "transport_overhead_ratio": round(overhead, 4),
+        "connect_attempts": point["connect_attempts"],
+    }
+    emit(
+        "shard_socket",
+        f"socket-backend capacity (halo {SOCKET_RANKS} ranks, "
+        f"{SOCKET_SHARDS} TCP workers):\n"
+        f"  {point['events_per_s'] / 1e3:8.0f}k ev/s "
+        f"(busiest worker {point['busy_s']:.2f}s CPU, "
+        f"{point['rounds']} sync rounds)\n"
+        f"  wire: {point['wire_bytes'] / 1e3:.0f} kB total, "
+        f"{point['overhead_bytes'] / 1e3:.0f} kB framing/pickle/heartbeat "
+        f"overhead ({overhead * 100:.1f}%), "
+        f"{point['heartbeats']} heartbeats, "
+        f"{point['connect_attempts']} connect attempts",
+    )
+    # Loose sanity floors: capacity must be nonzero and the workers must
+    # have been dialed exactly once each on a healthy localhost.
+    assert point["events"] > 0 and point["busy_s"] > 0
+    assert point["connect_attempts"] >= SOCKET_SHARDS
 
 
 def test_fence_speedup(benchmark, bench_record, emit):

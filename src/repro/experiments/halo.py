@@ -74,9 +74,17 @@ def main(argv: "typing.Sequence[str] | None" = None) -> int:
     (:func:`repro.netsim.differential.assert_sharded_identical`): the
     sharded run must be bit-identical to a single-process run or the
     process exits nonzero with the first diverging measures printed.
+
+    ``--backend socket`` drives workers over TCP: give running worker
+    addresses with ``--hosts``, or let ``--workers N`` spawn N local
+    ``repro.sim.remote`` subprocesses (the CI multi-host smoke).  A lost
+    worker (e.g. one armed with ``--worker-fault drop-after=5``) prints
+    the shard-loss diagnostic snapshot and exits with code 3 within
+    ``--host-timeout`` seconds -- never a hang.
     """
     import argparse
     import json as _json
+    import sys as _sys
 
     parser = argparse.ArgumentParser(
         prog="repro.experiments.halo",
@@ -89,8 +97,22 @@ def main(argv: "typing.Sequence[str] | None" = None) -> int:
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--sync", choices=("window", "null"),
                         default="window")
-    parser.add_argument("--backend", choices=("process", "inline"),
+    parser.add_argument("--backend",
+                        choices=("process", "inline", "socket"),
                         default="process")
+    parser.add_argument("--hosts", default=None,
+                        help="comma-separated host:port list of running "
+                        "repro.sim.remote workers (socket backend)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="spawn N local socket workers instead of "
+                        "--hosts (socket backend)")
+    parser.add_argument("--worker-fault", default=None, metavar="SPEC",
+                        help="transport fault armed on the first spawned "
+                        "worker, e.g. drop-after=5 (see "
+                        "repro.faults.parse_transport_fault_spec)")
+    parser.add_argument("--host-timeout", type=float, default=10.0,
+                        help="declare a silent socket worker lost after "
+                        "this many seconds (default %(default)s)")
     parser.add_argument("--fence-impl",
                         choices=("incremental", "reference"),
                         default="incremental")
@@ -104,39 +126,81 @@ def main(argv: "typing.Sequence[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.mpisim.config import mvapich2_like
+    from repro.sim.parallel import ShardHostLost
+    # Under ``python -m repro.experiments.halo`` this module *is*
+    # ``__main__``; re-import the app by its canonical name so it pickles
+    # resolvably for socket workers (whose ``__main__`` is repro.sim.remote).
+    from repro.experiments.halo import halo_app as _app
 
     app_args = (args.steps, args.nbytes, args.compute_us * 1e-6)
     config = mvapich2_like()
-    if args.check:
-        from repro.netsim.differential import (
-            assert_sharded_identical,
-            run_sharded_pair,
-        )
+    pool = None
+    hosts = None
+    transport = None
+    if args.backend == "socket":
+        from repro.netsim.transport import TransportOptions
 
-        try:
-            assert_sharded_identical(
-                halo_app, args.ranks, args.shards, config=config,
+        transport = TransportOptions(
+            heartbeat_interval=min(0.5, args.host_timeout / 4.0),
+            host_timeout=args.host_timeout,
+        )
+        if args.hosts:
+            hosts = [h.strip() for h in args.hosts.split(",") if h.strip()]
+        else:
+            from repro.sim.remote import LocalWorkerPool
+
+            count = args.workers or 2
+            faults = None
+            if args.worker_fault:
+                faults = [args.worker_fault] + [None] * (count - 1)
+            pool = LocalWorkerPool(count, faults=faults)
+            hosts = pool.addresses
+    try:
+        if args.check:
+            from repro.netsim.differential import (
+                assert_sharded_identical,
+                run_sharded_pair,
+            )
+
+            try:
+                assert_sharded_identical(
+                    _app, args.ranks, args.shards, config=config,
+                    app_args=app_args, sync=args.sync,
+                    backend=args.backend, batch=not args.no_batch,
+                    fence_impl=args.fence_impl,
+                    hosts=hosts, transport=transport,
+                )
+            except AssertionError as exc:
+                print(f"halo --check FAILED: {exc}")
+                return 1
+            _single, result = run_sharded_pair(
+                _app, args.ranks, args.shards, config=config,
                 app_args=app_args, sync=args.sync, backend=args.backend,
                 batch=not args.no_batch, fence_impl=args.fence_impl,
+                hosts=hosts, transport=transport,
             )
-        except AssertionError as exc:
-            print(f"halo --check FAILED: {exc}")
-            return 1
-        _single, result = run_sharded_pair(
-            halo_app, args.ranks, args.shards, config=config,
-            app_args=app_args, sync=args.sync, backend=args.backend,
-            batch=not args.no_batch, fence_impl=args.fence_impl,
-        )
-    else:
-        from repro.runtime.launcher import run_app
+        else:
+            from repro.runtime.launcher import run_app
 
-        result = run_app(
-            halo_app, args.ranks, config=config, app_args=app_args,
-            label=f"halo.{args.ranks}", shards=args.shards,
-            shard_sync=args.sync, shard_backend=args.backend,
-            shard_batch=not args.no_batch,
-            shard_fence_impl=args.fence_impl,
-        )
+            result = run_app(
+                _app, args.ranks, config=config, app_args=app_args,
+                label=f"halo.{args.ranks}", shards=args.shards,
+                shard_sync=args.sync, shard_backend=args.backend,
+                shard_batch=not args.no_batch,
+                shard_fence_impl=args.fence_impl,
+                shard_hosts=hosts, shard_transport=transport,
+            )
+    except ShardHostLost as exc:
+        if exc.diagnostic is not None:
+            print(exc.diagnostic.render_text(), file=_sys.stderr)
+        else:
+            print(f"halo: {exc}", file=_sys.stderr)
+        if args.json and exc.partial is not None:
+            print(_json.dumps(exc.partial, indent=2))
+        return 3
+    finally:
+        if pool is not None:
+            pool.close()
     st = result.sync_stats
     summary = {
         "ranks": args.ranks,

@@ -395,6 +395,12 @@ class FailedTask:
     #: True when the cell never completed because the sweep's ``cancel``
     #: event fired (the service's ``DELETE /v1/jobs/{id}`` path).
     cancelled: bool = False
+    #: True when the failing exception advertised ``retryable = True``
+    #: (e.g. :class:`repro.sim.parallel.ShardHostLost`): the cell failed
+    #: for an environmental reason -- a lost worker host, not a bug in
+    #: the task -- so re-running the identical task can succeed.  The
+    #: service re-queues a job once when any of its cells says so.
+    retryable: bool = False
 
     def __bool__(self) -> bool:
         # A failed cell is falsy so sweep code can filter results with a
@@ -437,6 +443,7 @@ def _run_task_failsafe(task: Task) -> "tuple[float, object]":
             _task_name(task),
             f"{type(exc).__name__}: {exc}",
             traceback.format_exc(),
+            retryable=bool(getattr(exc, "retryable", False)),
         )
     return time.perf_counter() - t0, value
 

@@ -22,6 +22,12 @@ from repro.faults.plan import (
     ResilienceParams,
     parse_fault_spec,
 )
+from repro.faults.transport import (
+    TransportFaultInjected,
+    TransportFaultPlan,
+    TransportInjector,
+    parse_transport_fault_spec,
+)
 from repro.faults.watchdog import (
     RankSnapshot,
     WatchdogConfig,
@@ -39,9 +45,13 @@ __all__ = [
     "RankSnapshot",
     "ResilienceParams",
     "StampLoss",
+    "TransportFaultInjected",
+    "TransportFaultPlan",
+    "TransportInjector",
     "WatchdogConfig",
     "WatchdogDiagnostic",
     "check_run_invariants",
     "diagnose",
     "parse_fault_spec",
+    "parse_transport_fault_spec",
 ]

@@ -164,13 +164,18 @@ def run_sharded_pair(
     record_transfers: bool = False,
     batch: bool = True,
     fence_impl: str = "incremental",
+    hosts: "typing.Sequence | None" = None,
+    transport: "typing.Any | None" = None,
 ) -> "tuple[RunResult, RunResult]":
     """Run once single-process and once sharded; both use channel delivery.
 
     The single-process run is the ground truth the sharded engine owes
     bit-identical results to (``delivery="channel"`` on both sides -- that
     is the semantics the sharding refactor is defined against).  Returns
-    ``(single, sharded)``.
+    ``(single, sharded)``.  ``backend="socket"`` additionally takes
+    ``hosts`` (running ``repro.sim.remote`` worker addresses) and
+    optional ``transport`` options, so the referee covers the multi-host
+    path with the same bit-identity bar as the local backends.
     """
     from repro.runtime.launcher import run_app
 
@@ -188,6 +193,7 @@ def run_sharded_pair(
         shards=shards, shard_sync=sync, shard_backend=backend,
         shard_strategy=strategy, shard_batch=batch,
         shard_fence_impl=fence_impl,
+        shard_hosts=hosts, shard_transport=transport,
     )
     return single, sharded
 

@@ -174,6 +174,8 @@ def run_app(
     shard_partition: "list[list[int]] | None" = None,
     shard_batch: bool = True,
     shard_fence_impl: str = "incremental",
+    shard_hosts: "typing.Sequence | None" = None,
+    shard_transport: "typing.Any | None" = None,
     tracer: "Tracer | None" = None,
 ) -> RunResult:
     """Run ``app(ctx, *app_args)`` on ``nprocs`` simulated ranks.
@@ -214,6 +216,7 @@ def run_app(
             sync=shard_sync, strategy=shard_strategy,
             backend=shard_backend, partition=shard_partition,
             batch=shard_batch, fence_impl=shard_fence_impl,
+            hosts=shard_hosts, transport=shard_transport,
             tracer=tracer,
         )
     config = config or MpiConfig()

@@ -4,7 +4,10 @@ Used by ``repro.tools.watch --url``, the ``--smoke`` self-test, the CI
 smoke job, and the load benchmark.  One :class:`ServiceClient` holds one
 keep-alive :class:`http.client.HTTPConnection`, so a submit/poll loop
 pays connection setup once -- exactly how a real high-volume client
-behaves, and what the warm-hit latency numbers measure.
+behaves, and what the warm-hit latency numbers measure.  A keep-alive
+the server dropped between calls is re-dialed once per request (see
+:meth:`ServiceClient._roundtrip`) so one idle timeout or server restart
+never poisons the client.
 
 Not thread-safe: give each thread its own client.
 """
@@ -51,6 +54,33 @@ class ServiceClient:
         self.close()
 
     # -- plumbing ----------------------------------------------------------
+    def _roundtrip(
+        self, method: str, path: str,
+        body: "bytes | None" = None,
+        headers: "dict[str, str] | None" = None,
+    ) -> "tuple[http.client.HTTPResponse, bytes]":
+        """One request/response with a single reconnect on a dead socket.
+
+        Every HTTP path in this client funnels through here: a server
+        that closed the keep-alive between calls (idle timeout, restart)
+        surfaces as ``ConnectionError``/``BadStatusLine``/``OSError`` on
+        the *next* use, and without the retry that one dead socket would
+        poison every later request on this client.  ``HTTPConnection``
+        auto-reopens after ``close()``, so one retry on a fresh socket is
+        exactly a reconnect.
+        """
+        headers = headers or {"Connection": "keep-alive"}
+        for attempt in (0, 1):
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                resp = self._conn.getresponse()
+                return resp, resp.read()
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                self._conn.close()
+                if attempt:
+                    raise ServiceError(f"{method} {path}: {exc}") from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def request(self, method: str, path: str,
                 payload: "object | None" = None) -> Response:
         body = None
@@ -58,18 +88,7 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in (0, 1):
-            try:
-                self._conn.request(method, path, body=body, headers=headers)
-                resp = self._conn.getresponse()
-                raw = resp.read()
-                break
-            except (http.client.HTTPException, ConnectionError, OSError) as exc:
-                # A server-closed keep-alive socket surfaces here: retry
-                # once on a fresh connection, then give up.
-                self._conn.close()
-                if attempt:
-                    raise ServiceError(f"{method} {path}: {exc}") from exc
+        resp, raw = self._roundtrip(method, path, body=body, headers=headers)
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -79,9 +98,8 @@ class ServiceClient:
         return Response(resp.status, decoded, dict(resp.getheaders()))
 
     def text(self, path: str) -> "tuple[int, str]":
-        self._conn.request("GET", path, headers={"Connection": "keep-alive"})
-        resp = self._conn.getresponse()
-        return resp.status, resp.read().decode("utf-8")
+        resp, raw = self._roundtrip("GET", path)
+        return resp.status, raw.decode("utf-8")
 
     # -- the job API -------------------------------------------------------
     def healthz(self) -> Response:
@@ -102,16 +120,14 @@ class ServiceClient:
 
     def stream_result(self, job_id: str) -> "list[dict[str, typing.Any]]":
         """Fetch the NDJSON stream; returns [meta, row, row, ...]."""
-        self._conn.request("GET", f"/v1/jobs/{job_id}/result?stream=1",
-                           headers={"Connection": "keep-alive"})
-        resp = self._conn.getresponse()
+        resp, raw = self._roundtrip(
+            "GET", f"/v1/jobs/{job_id}/result?stream=1")
         if resp.status != 200:
-            raw = resp.read()
             raise ServiceError(
                 f"stream_result({job_id!r}): HTTP {resp.status} "
                 f"{raw[:200]!r}")
         # http.client undoes the chunking; NDJSON lines remain.
-        lines = resp.read().decode("utf-8").splitlines()
+        lines = raw.decode("utf-8").splitlines()
         return [json.loads(line) for line in lines if line.strip()]
 
     def cancel(self, job_id: str) -> Response:

@@ -57,6 +57,7 @@ import dataclasses
 import heapq
 import math
 import multiprocessing
+import random
 import time
 import typing
 
@@ -73,6 +74,92 @@ _INF = float("inf")
 
 class ShardError(RuntimeError):
     """Sharded-run failure: worker crash, protocol violation, or stall."""
+
+
+class ShardHostLost(ShardError):
+    """A socket shard worker died or went silent mid-run.
+
+    Raised by the coordinator within ``host_timeout`` of the last frame
+    from the lost worker (heartbeats count as frames), so the run
+    terminates cleanly inside the configured deadline instead of hanging
+    the fence.  :func:`run_app_sharded` attaches ``diagnostic`` (a
+    :class:`ShardLossDiagnostic` snapshot) and ``partial`` (a progress
+    dict usable as a partial report) before the exception escapes.
+
+    ``retryable`` is the service layer's cue to re-dispatch the job once:
+    sharded runs are idempotent (same seed, same bits) and failed cells
+    are never cached, so a retry against healthy hosts is safe.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, reason: str = "", shard: int = -1,
+                 host: str = "") -> None:
+        super().__init__(message)
+        #: ``"connection-lost"`` (EOF/reset) or ``"heartbeat-timeout"``
+        #: (silence past ``host_timeout``).
+        self.reason = reason
+        self.shard = shard
+        self.host = host
+        self.diagnostic: "ShardLossDiagnostic | None" = None
+        self.partial: "dict | None" = None
+
+
+@dataclasses.dataclass
+class ShardLossDiagnostic:
+    """Watchdog-style snapshot of coordinator state at host loss.
+
+    The sharded sibling of :class:`repro.faults.WatchdogDiagnostic`:
+    where that one freezes a wedged single engine, this freezes the
+    coordinator's view of every shard -- who was lost and why, how far
+    simulated time got, and per-shard progress/liveness counters -- so a
+    lost host in a long multi-host run leaves evidence instead of a
+    stack trace ending at a socket read.
+    """
+
+    reason: str
+    shard: int
+    host: str
+    detail: str
+    sim_time: float
+    rounds: int
+    messages: int
+    outstanding_obligations: int
+    #: Per-shard dicts: shard, host, next_event, fence, events, busy_s,
+    #: heartbeats, frames_in, frames_out, lost.
+    shards: list
+
+    def partial_report(self) -> dict:
+        """Progress facts salvaged from the run, JSON-ready."""
+        return {
+            "reason": self.reason,
+            "lost_shard": self.shard,
+            "lost_host": self.host,
+            "sim_time": self.sim_time,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "events": sum(s["events"] for s in self.shards),
+            "shards": [dict(s) for s in self.shards],
+        }
+
+    def render_text(self) -> str:
+        """Human-readable snapshot, one line per shard."""
+        lines = [
+            f"shard-loss: run stopped ({self.reason}) "
+            f"at t={self.sim_time:.9f}",
+            f"  lost shard {self.shard} on {self.host}: {self.detail}",
+            f"  progress: {self.rounds} sync round(s), "
+            f"{self.messages} cross-shard message(s), "
+            f"{self.outstanding_obligations} obligation(s) outstanding",
+        ]
+        for s in self.shards:
+            mark = "LOST" if s["lost"] else "ok"
+            lines.append(
+                f"  shard {s['shard']:>3} [{mark:>4}] host={s['host']} "
+                f"next_event={s['next_event']:.9f} fence={s['fence']:.9f} "
+                f"events={s['events']} hb={s['heartbeats']}"
+            )
+        return "\n".join(lines)
 
 
 # -- partitioning ----------------------------------------------------------
@@ -443,6 +530,11 @@ def _mp_context():
 class _ProcHandle:
     """Shard living in a worker process, driven over a pipe."""
 
+    #: No heartbeat machinery: a local child dying surfaces as EOFError
+    #: on the very next read, so the readiness loop never needs a poll
+    #: timeout (``None`` keeps ``mp_wait`` fully blocking).
+    poll_interval: "float | None" = None
+
     def __init__(self, ctx, task: _ShardTask) -> None:
         self.batch = task.batch
         self.conn, child = ctx.Pipe()
@@ -451,6 +543,11 @@ class _ProcHandle:
         )
         self.proc.start()
         child.close()
+
+    @property
+    def waitable(self):
+        """What ``multiprocessing.connection.wait`` selects on."""
+        return self.conn
 
     def begin(self) -> float:
         return self._expect("ready")
@@ -466,6 +563,15 @@ class _ProcHandle:
         if self.batch:
             reply = reply._replace(msgs=_wire.unpack_frame(reply.msgs))
         return reply
+
+    def collect_ready(self) -> "_AdvanceReply | None":
+        # A readable pipe holds one whole reply (Connection framing), so
+        # the blocking collect returns promptly -- same semantics the
+        # null protocol always had on this backend.
+        return self.collect()
+
+    def check_alive(self) -> None:
+        pass
 
     def finish(self, final_time: float) -> _ShardResult:
         self.conn.send(("finish", final_time))
@@ -497,6 +603,185 @@ class _ProcHandle:
         if self.proc.is_alive():  # pragma: no cover - crash cleanup
             self.proc.terminate()
             self.proc.join()
+
+
+class _SocketHandle:
+    """Shard living on a (possibly remote) worker, driven over TCP.
+
+    Same command protocol as :class:`_ProcHandle`; what is added is
+    liveness.  Every blocking receive is bounded by
+    ``options.host_timeout`` measured from the *last frame of any kind*
+    -- the worker's heartbeat thread keeps that clock moving while the
+    shard computes, so a long engine window does not read as death, but
+    a wedged or vanished host does, within the deadline.  EOF maps to an
+    immediate :class:`ShardHostLost` ("connection-lost"); silence maps
+    to one with "heartbeat-timeout".  The null protocol's readiness loop
+    uses :meth:`collect_ready`, which drains whatever bytes have arrived
+    without blocking -- a ready socket may hold only a heartbeat or half
+    a reply.
+    """
+
+    def __init__(self, task: _ShardTask, host: str, port: int,
+                 options) -> None:
+        from repro.netsim import transport as _tp
+
+        self._tp = _tp
+        self.batch = task.batch
+        self.shard_id = task.shard_id
+        self.host = host
+        self.port = port
+        self.options = options
+        #: Readiness-loop poll period: liveness is checked at least this
+        #: often while a shard is busy.
+        self.poll_interval = options.heartbeat_interval
+        self.heartbeats = 0
+        #: Columnar payload bytes (both directions) -- the simulation's
+        #: own traffic, vs the stream's total byte counters.
+        self.payload_bytes = 0
+        self.events = 0
+        self.busy = 0.0
+        # Seeded jitter: the retry schedule is reproducible per
+        # (run seed, shard), like every other RNG stream in repro.faults.
+        rng = random.Random((task.seed << 8) ^ (task.shard_id + 1))
+        sock, self.connect_attempts = _tp.connect_with_retry(
+            host, port, options, rng)
+        self.stream = _tp.FrameStream(sock)
+        self.worker_meta = _tp.client_handshake(
+            self.stream,
+            {
+                "shard": task.shard_id,
+                "label": task.label,
+                "nprocs": task.nprocs,
+                "ranks": list(task.ranks),
+                "batch": task.batch,
+                "heartbeat_interval": options.heartbeat_interval,
+            },
+            options.handshake_timeout,
+        )
+        self._send(("task", task))
+
+    @property
+    def waitable(self):
+        """Raw socket for ``multiprocessing.connection.wait``."""
+        return self.stream.sock
+
+    def _lost(self, reason: str, detail: str) -> ShardHostLost:
+        where = f"{self.host}:{self.port}"
+        return ShardHostLost(
+            f"shard {self.shard_id} worker {where} lost ({reason}): "
+            f"{detail}",
+            reason=reason, shard=self.shard_id, host=where,
+        )
+
+    def _send(self, msg) -> None:
+        try:
+            self.stream.send(msg)
+        except self._tp.ConnectionLost as exc:
+            raise self._lost("connection-lost", str(exc)) from exc
+
+    def begin(self) -> float:
+        return self._expect("ready")
+
+    def advance_async(self, fence: float, msgs: list) -> None:
+        if self.batch:
+            frame = _wire.pack_frame(msgs)
+            self.payload_bytes += _wire.frame_nbytes(frame)
+            self._send(("advance", fence, frame))
+        else:
+            self._send(("advance", fence, msgs))
+
+    def _adopt_reply(self, reply: _AdvanceReply) -> _AdvanceReply:
+        if self.batch:
+            self.payload_bytes += _wire.frame_nbytes(reply.msgs)
+            reply = reply._replace(msgs=_wire.unpack_frame(reply.msgs))
+        self.events = reply.events
+        self.busy = reply.busy
+        return reply
+
+    def collect(self) -> _AdvanceReply:
+        return self._adopt_reply(self._expect("reply"))
+
+    def collect_ready(self) -> "_AdvanceReply | None":
+        tp = self._tp
+        while True:
+            try:
+                ok, msg = self.stream.try_recv()
+            except tp.ConnectionLost as exc:
+                raise self._lost("connection-lost", str(exc)) from exc
+            if not ok:
+                return None
+            op = msg[0]
+            if op == "hb":
+                self.heartbeats += 1
+                continue
+            if op == "error":
+                raise ShardError(f"shard worker failed:\n{msg[1]}")
+            if op != "reply":
+                raise ShardError(
+                    f"protocol error: expected 'reply', got {op!r}")
+            return self._adopt_reply(msg[1])
+
+    def check_alive(self) -> None:
+        silent = time.monotonic() - self.stream.last_recv
+        if silent > self.options.host_timeout:
+            raise self._lost(
+                "heartbeat-timeout",
+                f"no frame for {silent:.1f}s "
+                f"(host_timeout={self.options.host_timeout:.1f}s)")
+
+    def finish(self, final_time: float) -> _ShardResult:
+        self._send(("finish", final_time))
+        return self._expect("result")
+
+    def _expect(self, tag: str):
+        tp = self._tp
+        options = self.options
+        stream = self.stream
+        while True:
+            remaining = (stream.last_recv + options.host_timeout
+                         - time.monotonic())
+            if remaining <= 0.0:
+                raise self._lost(
+                    "heartbeat-timeout",
+                    f"no frame for {options.host_timeout:.1f}s while "
+                    f"waiting for {tag!r}")
+            try:
+                msg = stream.recv(
+                    timeout=min(remaining, options.heartbeat_interval))
+            except tp.TransportTimeout:
+                continue
+            except tp.ConnectionLost as exc:
+                raise self._lost("connection-lost", str(exc)) from exc
+            op = msg[0]
+            if op == "hb":
+                self.heartbeats += 1
+                continue
+            if op == "error":
+                raise ShardError(f"shard worker failed:\n{msg[1]}")
+            if op != tag:
+                raise ShardError(
+                    f"protocol error: expected {tag!r}, got {op!r}")
+            return msg[1]
+
+    def transport_stats(self) -> dict:
+        stream = self.stream
+        return {
+            "host": f"{self.host}:{self.port}",
+            "connect_attempts": self.connect_attempts,
+            "heartbeats": self.heartbeats,
+            "frames_out": stream.frames_out,
+            "frames_in": stream.frames_in,
+            "bytes_out": stream.bytes_out,
+            "bytes_in": stream.bytes_in,
+            "payload_bytes": self.payload_bytes,
+        }
+
+    def close(self) -> None:
+        try:
+            self.stream.send(("abort",))
+        except Exception:
+            pass
+        self.stream.close()
 
 
 # -- coordinator -----------------------------------------------------------
@@ -843,7 +1128,7 @@ def _coordinate_window(co: _Coordinator, tracer=None) -> None:
         co.rounds += 1
 
 
-def _coordinate_null(co: _Coordinator, conns: list, tracer=None) -> None:
+def _coordinate_null(co: _Coordinator, tracer=None) -> None:
     """Asynchronous pacing: re-arm each shard as soon as its fence moves.
 
     The fence bound is the same as the window protocol's; what changes is
@@ -851,10 +1136,26 @@ def _coordinate_null(co: _Coordinator, conns: list, tracer=None) -> None:
     shards catch up, instead of everyone pausing at a global barrier --
     the coordinator plays the role null messages play in CMB-style
     distributed simulations.
+
+    Works over any handle exposing ``waitable`` (a pipe or a raw socket
+    -- ``multiprocessing.connection.wait`` selects on both).  With pipe
+    handles the wait blocks indefinitely and a readable pipe always
+    yields a whole reply, exactly the old behavior.  Socket handles set
+    ``poll_interval``: the wait then times out at the heartbeat period
+    so liveness is re-checked between replies, a wake-up may carry only
+    a heartbeat (``collect_ready`` returns ``None``), and a shard gone
+    silent raises :class:`ShardHostLost` within ``host_timeout``.
     """
     from multiprocessing.connection import wait as mp_wait
 
-    n = len(co.handles)
+    handles = co.handles
+    n = len(handles)
+    waitables = {id(h.waitable): i for i, h in enumerate(handles)}
+    poll: "float | None" = None
+    for h in handles:
+        hb = h.poll_interval
+        if hb is not None:
+            poll = hb if poll is None else min(poll, hb)
     if tracer is not None:
         ch_fence = tracer.channel("fences", "coord.fence")
         ch_disp = tracer.channel("dispatch", "coord.dispatch")
@@ -892,15 +1193,24 @@ def _coordinate_null(co: _Coordinator, conns: list, tracer=None) -> None:
                 raise ShardError("sync stalled: no shard can advance")
             continue
         tw = tracer.now() if tracer is not None else 0.0
-        ready = mp_wait([conns[i] for i in busy])
+        ready = mp_wait([handles[i].waitable for i in busy], timeout=poll)
         if tracer is not None:
             ch_wait.append(tw)
             ch_wait.append(tracer.now())
-        for conn in ready:
-            shard = conns.index(conn)
-            co.absorb(shard, co.handles[shard].collect())
+        absorbed = 0
+        for w in ready:
+            shard = waitables[id(w)]
+            reply = handles[shard].collect_ready()
+            if reply is None:
+                continue
+            co.absorb(shard, reply)
             busy.discard(shard)
-        co.rounds += 1
+            absorbed += 1
+        if poll is not None:
+            for i in tuple(busy):
+                handles[i].check_alive()
+        if absorbed:
+            co.rounds += 1
 
 
 # -- launcher --------------------------------------------------------------
@@ -942,6 +1252,39 @@ class ShardedFabricView:
         )
 
 
+def _diagnose_host_loss(exc: ShardHostLost,
+                        co: _Coordinator) -> ShardLossDiagnostic:
+    """Freeze the coordinator's view of every shard at the loss point."""
+    fences = co.fences
+    shards = []
+    for i, h in enumerate(co.handles):
+        stats = (h.transport_stats()
+                 if hasattr(h, "transport_stats") else {})
+        shards.append({
+            "shard": i,
+            "host": stats.get("host", "local"),
+            "next_event": co._bounds[i],
+            "fence": fences[i],
+            "events": getattr(h, "events", 0),
+            "busy_s": getattr(h, "busy", 0.0),
+            "heartbeats": stats.get("heartbeats", 0),
+            "frames_in": stats.get("frames_in", 0),
+            "frames_out": stats.get("frames_out", 0),
+            "lost": i == exc.shard,
+        })
+    return ShardLossDiagnostic(
+        reason=exc.reason or "host-loss",
+        shard=exc.shard,
+        host=exc.host,
+        detail=str(exc),
+        sim_time=co.tail,
+        rounds=co.rounds,
+        messages=co.messages,
+        outstanding_obligations=len(co.obligations),
+        shards=shards,
+    )
+
+
 def run_app_sharded(
     app: typing.Callable,
     nprocs: int,
@@ -964,6 +1307,8 @@ def run_app_sharded(
     tracer: "typing.Any | None" = None,
     batch: bool = True,
     fence_impl: str = "incremental",
+    hosts: "typing.Sequence | None" = None,
+    transport: "typing.Any | None" = None,
 ) -> "RunResult":
     """Run ``app`` on ``nprocs`` ranks split across ``shards`` workers.
 
@@ -991,6 +1336,16 @@ def run_app_sharded(
     ``"incremental"`` (default, O(shards) per round) or ``"reference"``
     (the O(shards²) nested-scan formulation, kept for differential tests
     and the before/after benchmark).  Both return identical floats.
+
+    ``backend="socket"`` drives workers started elsewhere with
+    ``python -m repro.sim.remote --listen`` (possibly on other hosts):
+    ``hosts`` lists their ``"host:port"`` addresses, assigned to shards
+    round-robin, and ``transport`` (a
+    :class:`repro.netsim.transport.TransportOptions`) sets connect
+    retry/heartbeat/host-timeout policy.  Results stay bit-identical to
+    the other backends; a worker that dies or goes silent raises
+    :class:`ShardHostLost` (with a :class:`ShardLossDiagnostic` and a
+    partial report attached) within ``host_timeout`` instead of hanging.
     """
     from repro.mpisim.config import MpiConfig
     from repro.runtime.launcher import RunResult, default_xfer_table
@@ -1006,9 +1361,15 @@ def run_app_sharded(
             )
     if sync not in ("window", "null"):
         raise ValueError(f"sync must be 'window' or 'null', got {sync!r}")
-    if backend not in ("process", "inline"):
+    if backend not in ("process", "inline", "socket"):
         raise ValueError(
-            f"backend must be 'process' or 'inline', got {backend!r}"
+            f"backend must be 'process', 'inline', or 'socket', "
+            f"got {backend!r}"
+        )
+    if backend == "socket" and not hosts:
+        raise ValueError(
+            "backend='socket' needs hosts=['host:port', ...] of running "
+            "repro.sim.remote workers"
         )
     config = config or MpiConfig()
     base = params or NetworkParams()
@@ -1052,20 +1413,42 @@ def run_app_sharded(
     try:
         if backend == "inline":
             handles = [_InlineHandle(task) for task in tasks]
+        elif backend == "socket":
+            from repro.netsim import transport as _tp
+
+            opts = transport or _tp.TransportOptions()
+            targets = [
+                _tp.parse_hostport(h) if isinstance(h, str)
+                else (str(h[0]), int(h[1]))
+                for h in hosts  # type: ignore[union-attr]
+            ]
+            for i, task in enumerate(tasks):
+                host, port = targets[i % len(targets)]
+                try:
+                    handles.append(_SocketHandle(task, host, port, opts))
+                except _tp.TransportError as exc:
+                    raise ShardError(
+                        f"shard {i} worker {host}:{port}: {exc}"
+                    ) from exc
         else:
             ctx = _mp_context()
             handles = [_ProcHandle(ctx, task) for task in tasks]
         co = _Coordinator(handles, shard_of, params, la,
                           fence_impl=fence_impl)
-        if sync == "null" and backend == "process":
-            _coordinate_null(co, [h.conn for h in handles], tracer)
-        else:
-            # The inline backend steps shards sequentially, so barrier
-            # rounds and asynchronous pacing coincide.
-            _coordinate_window(co, tracer)
-        sp_fin = (tracer.begin("finalize shards", "coord.finish")
-                  if tracer is not None else None)
-        results = [h.finish(co.tail) for h in handles]
+        try:
+            if sync == "null" and backend in ("process", "socket"):
+                _coordinate_null(co, tracer)
+            else:
+                # The inline backend steps shards sequentially, so barrier
+                # rounds and asynchronous pacing coincide.
+                _coordinate_window(co, tracer)
+            sp_fin = (tracer.begin("finalize shards", "coord.finish")
+                      if tracer is not None else None)
+            results = [h.finish(co.tail) for h in handles]
+        except ShardHostLost as exc:
+            exc.diagnostic = _diagnose_host_loss(exc, co)
+            exc.partial = exc.diagnostic.partial_report()
+            raise
         if tracer is not None:
             for res in results:
                 tracer.absorb(res.trace)
@@ -1083,6 +1466,8 @@ def run_app_sharded(
     finish_times = [0.0] * nprocs
     compute_logs: list = [[] for _ in range(nprocs)]
     transfer_log: "list | None" = [] if record_transfers else None
+    tstats = ([h.transport_stats() for h in handles]
+              if backend == "socket" else None)
     shard_stats = []
     for res in results:
         for rank in res.ranks:
@@ -1092,7 +1477,7 @@ def run_app_sharded(
             compute_logs[rank] = res.compute_logs[rank]
         if transfer_log is not None and res.transfer_log is not None:
             transfer_log.extend(res.transfer_log)
-        shard_stats.append({
+        entry = {
             "shard": res.shard_id,
             "ranks": res.ranks,
             "events": res.events,
@@ -1100,7 +1485,19 @@ def run_app_sharded(
             "msgs_across": res.msgs_across,
             "heap_high_water": res.heap_high_water,
             "calendar_engagements": res.calendar_engagements,
-        })
+        }
+        if tstats is not None:
+            ts = tstats[res.shard_id]
+            entry["host"] = ts["host"]
+            entry["heartbeats"] = ts["heartbeats"]
+            entry["frames_out"] = ts["frames_out"]
+            entry["frames_in"] = ts["frames_in"]
+            # Liveness + framing/pickle cost on top of the simulation's
+            # own columnar payload -- the transport's overhead share.
+            entry["transport_overhead_bytes"] = (
+                ts["bytes_out"] + ts["bytes_in"] - ts["payload_bytes"]
+            )
+        shard_stats.append(entry)
     if transfer_log is not None:
         transfer_log.sort(key=lambda t: (t.start, t.end, t.src, t.dst,
                                          t.kind, t.nbytes))
@@ -1132,4 +1529,15 @@ def run_app_sharded(
         "fence_impl": fence_impl,
         "fence_recomputes": co.fence_recomputes,
     }
+    if tstats is not None:
+        result.sync_stats["transport"] = {
+            "hosts": [t["host"] for t in tstats],
+            "connect_attempts": [t["connect_attempts"] for t in tstats],
+            "heartbeats": sum(t["heartbeats"] for t in tstats),
+            "frames_out": sum(t["frames_out"] for t in tstats),
+            "frames_in": sum(t["frames_in"] for t in tstats),
+            "bytes_out": sum(t["bytes_out"] for t in tstats),
+            "bytes_in": sum(t["bytes_in"] for t in tstats),
+            "payload_bytes": sum(t["payload_bytes"] for t in tstats),
+        }
     return result

@@ -192,6 +192,12 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--timeout", type=float, default=None,
                         help="live mode: give up after this many seconds "
                         "without the sweep finishing")
+    parser.add_argument("--max-fetch-failures", type=int, default=10,
+                        metavar="N",
+                        help="live --url mode: exit with status 2 after N "
+                        "consecutive failed fetches instead of rendering "
+                        "an empty dashboard forever (default %(default)s; "
+                        "0 disables the limit)")
     return parser
 
 
@@ -216,10 +222,25 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     renderer = LiveRenderer()
     deadline = (time.monotonic() + args.timeout
                 if args.timeout is not None else None)
+    # --url mode: every failed fetch used to render as an empty dashboard
+    # forever; count consecutive failures (any success resets) and bail
+    # out loudly once the service is clearly gone.
+    fetch_failures = 0
     try:
         while True:
             payload = load()
             renderer.update(payload)
+            if args.url is not None:
+                fetch_failures = 0 if payload is not None \
+                    else fetch_failures + 1
+                if (args.max_fetch_failures > 0
+                        and fetch_failures >= args.max_fetch_failures):
+                    print(
+                        f"watch: {fetch_failures} consecutive failed "
+                        f"fetches from {args.url} (service down or URL "
+                        f"wrong); giving up",
+                        file=sys.stderr)
+                    return 2
             if payload is not None and payload.get("finished"):
                 failed = int(typing.cast(int, payload.get("failed", 0)))
                 return 1 if failed else 0

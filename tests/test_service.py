@@ -355,3 +355,134 @@ def _sleep_worker(seconds):
 
     _time.sleep(seconds)
     return "slept"
+
+
+def _flaky_host_worker(flag_path):
+    """Fail retryably (simulated lost worker host) on the first run only."""
+    import os as _os
+
+    if not _os.path.exists(flag_path):
+        with open(flag_path, "w", encoding="utf-8") as fh:
+            fh.write("seen")
+        exc = RuntimeError("shard 0 worker lost (simulated)")
+        exc.retryable = True  # what ShardHostLost advertises
+        raise exc
+    return "recovered"
+
+
+def _always_lost_worker(x):
+    exc = RuntimeError("shard 0 worker lost (simulated)")
+    exc.retryable = True
+    raise exc
+
+
+def _wait_finished(service, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if service.jobs[job_id].state in ("done", "failed", "cancelled"):
+            return service.jobs[job_id].state
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+# ---------------------------------------------------------------------------
+# Retryable (host-loss) failures re-queue once
+# ---------------------------------------------------------------------------
+def test_retryable_failure_requeues_once_and_succeeds(tmp_path):
+    """A cell failing with ``retryable = True`` (a lost shard-worker
+    host) re-queues its job once; the re-run succeeds and the job ends
+    ``done`` with ``retried`` visible in its description."""
+    from repro.experiments.runner import Task
+    from repro.service.jobs import Submission
+
+    service = OverlapService(cache_root=tmp_path / "c", workers=1)
+    service.start()
+    try:
+        sub = Submission(tenant="t", kind="nas", priority=0,
+                         label="flaky", spec={})
+        flag = str(tmp_path / "host-came-back.flag")
+        status, body = service.submit_tasks(
+            sub, [Task(_flaky_host_worker, (flag,))])
+        assert status == 202
+        assert _wait_finished(service, body["job_id"]) == "done"
+        job = service.jobs[body["job_id"]]
+        assert job.describe()["retried"] is True
+        code, result = service.job_result(body["job_id"])
+        assert code == 200
+        assert result["rows"] == ["recovered"]
+        assert ("repro_service_retries_total 1"
+                in service.metrics_text())
+    finally:
+        service.shutdown()
+
+
+def test_retry_budget_is_one(tmp_path):
+    """A job that loses its host on the retry too fails for real, with
+    the retryable flag surfaced in the failed row."""
+    from repro.experiments.runner import Task
+    from repro.service.jobs import Submission
+
+    service = OverlapService(cache_root=tmp_path / "c", workers=1)
+    service.start()
+    try:
+        sub = Submission(tenant="t", kind="nas", priority=0,
+                         label="doomed", spec={})
+        status, body = service.submit_tasks(
+            sub, [Task(_always_lost_worker, (0,))])
+        assert status == 202
+        assert _wait_finished(service, body["job_id"]) == "failed"
+        job = service.jobs[body["job_id"]]
+        assert job.describe()["retried"] is True
+        code, result = service.job_result(body["job_id"])
+        assert result["rows"][0]["failed"] is True
+        assert result["rows"][0]["retryable"] is True
+    finally:
+        service.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Client keep-alive resilience + watch fetch-failure limit
+# ---------------------------------------------------------------------------
+def test_client_reconnects_after_server_drops_keepalive():
+    """A server that silently drops the keep-alive between requests must
+    not poison the client: the next request re-dials once and succeeds."""
+    import socket
+    import threading
+
+    srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(4)
+    port = srv.getsockname()[1]
+
+    def serve():
+        # Two connections: each answers one request claiming keep-alive,
+        # then drops the socket without advertising Connection: close.
+        for _ in range(2):
+            conn, _addr = srv.accept()
+            conn.recv(65536)
+            conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Length: 2\r\n\r\nok")
+            conn.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        with ServiceClient(f"http://127.0.0.1:{port}") as c:
+            assert c.text("/a") == (200, "ok")
+            # The first socket is dead now; this must reconnect, not fail.
+            assert c.text("/b") == (200, "ok")
+        thread.join(timeout=5.0)
+    finally:
+        srv.close()
+
+
+def test_watch_url_gives_up_after_consecutive_failures():
+    """Live --url mode against a dead service exits 2 after the
+    configured number of consecutive fetch failures -- it must not
+    render an empty dashboard forever."""
+    t0 = time.monotonic()
+    rc = watch.main(["--url", "http://127.0.0.1:1/", "--interval", "0.01",
+                     "--max-fetch-failures", "3"])
+    assert rc == 2
+    assert time.monotonic() - t0 < 60.0

@@ -124,6 +124,15 @@ def main(argv: "typing.Sequence[str] | None" = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable summary")
     args = parser.parse_args(argv)
+    if args.worker_fault and (args.backend != "socket" or args.hosts):
+        # Faults are armed on workers *we* spawn; on externally managed
+        # hosts (or non-socket backends) the spec would be silently
+        # ignored and a fault-injection run would look like a healthy
+        # pass.
+        parser.error(
+            "--worker-fault requires --backend socket with spawned "
+            "workers (--workers N); it cannot be armed on externally "
+            "started --hosts workers")
 
     from repro.mpisim.config import mvapich2_like
     from repro.sim.parallel import ShardHostLost

@@ -60,6 +60,7 @@ __all__ = [
     "FrameDecoder",
     "FrameStream",
     "encode_message",
+    "enable_keepalive",
     "connect_with_retry",
     "client_handshake",
     "server_handshake",
@@ -242,6 +243,14 @@ class FrameStream:
             if self.injector is not None:
                 self.injector.before_send(self)
             try:
+                # recv()/try_recv() leave the socket's timeout finite or
+                # zero; sendall() on such a socket raises as soon as the
+                # frame outgrows the free kernel buffer -- possibly after
+                # a partial write that desyncs the framing -- and a
+                # healthy peer would be misdeclared lost.  Writes always
+                # run blocking; the receive paths re-set their own
+                # timeout immediately before every recv() call.
+                self.sock.settimeout(None)
                 self.sock.sendall(data)
             except OSError as exc:
                 raise ConnectionLost(f"send failed: {exc}") from exc
@@ -368,6 +377,46 @@ def connect_with_retry(
         f"connect to {host}:{port} failed after "
         f"{options.connect_attempts} attempt(s): {last}"
     )
+
+
+def enable_keepalive(
+    sock: socket.socket,
+    idle: float = 60.0,
+    interval: float = 10.0,
+    count: int = 6,
+) -> bool:
+    """Arm TCP keepalive probes so a half-open peer is eventually reaped.
+
+    The worker's command loop blocks in ``recv()`` with no deadline (a
+    slow coordinator between fence rounds is healthy, so an idle timeout
+    would misfire), which means a coordinator host that vanishes without
+    a TCP reset -- kill -9 plus a network partition -- would otherwise
+    pin the session thread, its rank stack, and its heartbeat thread for
+    the life of the worker process.  Keepalive distinguishes *dead* from
+    *slow*: after ``idle`` seconds of silence the kernel probes every
+    ``interval`` seconds, and ``count`` unanswered probes surface as an
+    ``OSError`` on the blocked ``recv``.  The per-probe knobs are not
+    portable (Linux/macOS spell them differently; some platforms lack
+    them), so each is set only where available; returns whether
+    ``SO_KEEPALIVE`` itself was enabled.
+    """
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    except OSError:  # pragma: no cover - e.g. AF_UNIX socketpair
+        return False
+    for name, value in (
+        ("TCP_KEEPIDLE", max(1, int(idle))),
+        ("TCP_KEEPINTVL", max(1, int(interval))),
+        ("TCP_KEEPCNT", max(1, int(count))),
+    ):
+        opt = getattr(socket, name, None)
+        if opt is None:  # pragma: no cover - platform-dependent
+            continue
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, opt, value)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+    return True
 
 
 def client_handshake(

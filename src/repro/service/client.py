@@ -68,6 +68,14 @@ class ServiceClient:
         poison every later request on this client.  ``HTTPConnection``
         auto-reopens after ``close()``, so one retry on a fresh socket is
         exactly a reconnect.
+
+        CAVEAT -- the retry assumes every request is idempotent: if the
+        server processed the first attempt but the connection died before
+        the response arrived, the request is replayed.  That holds for
+        this service's API (GET/DELETE are naturally idempotent, and
+        POST ``/v1/jobs`` dedupes resubmits by job content hash -- see
+        :meth:`submit`).  Do not route a non-idempotent request through
+        this client without revisiting this.
         """
         headers = headers or {"Connection": "keep-alive"}
         for attempt in (0, 1):
@@ -106,6 +114,10 @@ class ServiceClient:
         return self.request("GET", "/healthz")
 
     def submit(self, spec: "dict[str, typing.Any]") -> Response:
+        # Safe under _roundtrip's replay-on-dead-socket retry only
+        # because the server dedupes submissions by content hash: a
+        # replayed submit attaches to the already-accepted job instead
+        # of enqueueing a duplicate.
         return self.request("POST", "/v1/jobs", payload=spec)
 
     def job(self, job_id: str) -> Response:

@@ -47,6 +47,7 @@ from repro.netsim.transport import (
     FrameStream,
     HandshakeError,
     TransportError,
+    enable_keepalive,
     parse_hostport,
     server_handshake,
 )
@@ -80,6 +81,11 @@ def _serve_session(sock: socket.socket,
     """One coordinator connection: handshake, task, command loop."""
     from repro.sim.parallel import ShardWorker
 
+    # The command loop below blocks in recv() with no deadline (a slow
+    # coordinator is healthy); keepalive probes reap the session if the
+    # coordinator host vanishes without a TCP reset, instead of leaking
+    # this thread, the built rank stack, and the heartbeat thread.
+    enable_keepalive(sock)
     injector = fault_plan.injector() if fault_plan is not None else None
     stream = FrameStream(sock, injector=injector)
     hb_stop = threading.Event()

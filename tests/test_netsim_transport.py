@@ -40,6 +40,7 @@ from repro.netsim.transport import (
     TransportTimeout,
     client_handshake,
     connect_with_retry,
+    enable_keepalive,
     encode_message,
     parse_hostport,
     server_handshake,
@@ -225,6 +226,45 @@ def test_stream_peer_close_is_connection_lost():
             b.recv(timeout=5.0)
     finally:
         b.close()
+
+
+def test_stream_send_stays_blocking_after_try_recv():
+    """Regression: ``try_recv`` leaves the socket non-blocking, and the
+    null-sync coordinator always sends ``advance`` right after such a
+    drain.  A frame larger than the free kernel send buffer must block
+    until the peer drains it -- not surface a spurious ConnectionLost
+    (and abort a healthy run) via BlockingIOError/socket.timeout."""
+    a, b = _stream_pair()
+    try:
+        assert a.try_recv() == (False, None)  # socket now non-blocking
+        big = ("reply", b"x" * (4 << 20))
+        got = []
+        reader = threading.Thread(
+            # Start draining only after the kernel buffer is full, so a
+            # non-blocking sendall would deterministically fail first.
+            target=lambda: (time.sleep(0.2), got.append(b.recv(timeout=30.0))))
+        reader.start()
+        a.send(big)
+        reader.join(timeout=30.0)
+        assert got == [big]
+    finally:
+        a.close()
+        b.close()
+
+
+def test_enable_keepalive_on_accepted_tcp_socket():
+    srv = socket.socket()
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(1)
+    cli = socket.create_connection(srv.getsockname()[:2])
+    conn, _addr = srv.accept()
+    try:
+        assert enable_keepalive(conn) is True
+        assert conn.getsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE) == 1
+    finally:
+        conn.close()
+        cli.close()
+        srv.close()
 
 
 def test_stream_try_recv_nonblocking():

@@ -390,6 +390,21 @@ def test_halo_cli_check_json(capsys):
     assert summary["events"] > 0 and summary["rounds"] > 0
 
 
+def test_halo_cli_worker_fault_needs_spawned_workers(capsys):
+    # On externally started --hosts (or non-socket backends) the fault
+    # spec cannot be armed; silently ignoring it would make a
+    # fault-injection run look like a healthy pass.
+    from repro.experiments import halo
+
+    with pytest.raises(SystemExit) as excinfo:
+        halo.main(["--backend", "socket", "--hosts", "127.0.0.1:1",
+                   "--worker-fault", "drop-after=5"])
+    assert excinfo.value.code == 2
+    assert "--worker-fault" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        halo.main(["--backend", "process", "--worker-fault", "drop-after=5"])
+
+
 def test_halo_cli_plain_run(capsys):
     from repro.experiments import halo
 
